@@ -1,0 +1,58 @@
+"""Ablation: tagless versus tag-checked page flush (DESIGN.md #1).
+
+SPUR's shipped flush ignores address tags and vacates every frame a
+page maps to, evicting innocent blocks; the paper assumes a
+tag-checked flush for its comparison.  This bench runs the FLUSH
+dirty-bit policy and the REF reference policy under both mechanisms
+and reports the cycle and cache-disruption cost of the shortcut.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.slc import SlcWorkload
+
+from conftest import bench_scale, once
+
+
+def run_ablation():
+    runner = ExperimentRunner()
+    scale = min(bench_scale(), 1.0) * 0.5
+    table = Table(
+        "Ablation: flush mechanism (SLC at 6 MB equivalent)",
+        ["Configuration", "Flush strategy", "Cycles", "Page-ins",
+         "Block fills"],
+    )
+    results = {}
+    for policy_kind, config_kwargs in (
+        ("FLUSH dirty policy", dict(dirty_policy="FLUSH")),
+        ("REF reference policy", dict(reference_policy="REF")),
+    ):
+        for strategy in ("tag-checked", "tagless"):
+            config = scaled_config(
+                memory_ratio=48, flush_strategy=strategy,
+                **config_kwargs,
+            )
+            result = runner.run(
+                config, SlcWorkload(length_scale=scale)
+            )
+            results[(policy_kind, strategy)] = result
+            from repro.counters.events import Event
+            table.add_row(
+                policy_kind, strategy, result.cycles,
+                result.page_ins, result.event(Event.BLOCK_FILL),
+            )
+    return results, table
+
+
+def test_flush_ablation(benchmark, record_result):
+    results, table = once(benchmark, run_ablation)
+    record_result("ablation_flush", table.render())
+    for policy_kind in ("FLUSH dirty policy", "REF reference policy"):
+        checked = results[(policy_kind, "tag-checked")]
+        tagless = results[(policy_kind, "tagless")]
+        # The tagless flush costs cycles and evicts foreign blocks,
+        # which must never make the run cheaper.
+        assert tagless.cycles >= checked.cycles, policy_kind

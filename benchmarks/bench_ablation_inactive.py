@@ -1,0 +1,60 @@
+"""Ablation: the segmented FIFO's inactive-list depth.
+
+The inactive list is segfifo's only tuning knob: too shallow and
+rescues never happen (degenerates to FIFO); too deep and the active
+set is starved of frames.  This bench sweeps the fraction with the
+generic :class:`SweepDriver` and records the page-in curve.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.sweeps import SweepDriver
+from repro.counters.events import Event
+from repro.machine.config import scaled_config
+from repro.workloads.slc import SlcWorkload
+
+from conftest import bench_scale, once, shape_asserts_enabled
+
+FRACTIONS = (0.05, 0.15, 0.25, 0.40, 0.60)
+
+
+def run_sweep():
+    scale = min(bench_scale(), 1.0) * 0.5
+    driver = SweepDriver(
+        scaled_config(memory_ratio=40, daemon_kind="segfifo",
+                      reference_policy="NOREF"),
+        "inactive_fraction",
+        FRACTIONS,
+        lambda: SlcWorkload(length_scale=scale),
+    )
+    results = driver.run()
+    table = driver.tabulate(results, "page_ins")
+    table.add_note(
+        "rescues per point: " + ", ".join(
+            f"{fraction}: "
+            f"{results[''][fraction].event(Event.PAGE_REACTIVATE)}"
+            for fraction in FRACTIONS
+        )
+    )
+    return results[""], table
+
+
+def test_inactive_fraction_ablation(benchmark, record_result):
+    results, table = once(benchmark, run_sweep)
+    record_result("ablation_inactive_fraction", table.render())
+    if not shape_asserts_enabled():
+        return
+    # Rescues rise with list depth...
+    rescues = {
+        fraction: run.event(Event.PAGE_REACTIVATE)
+        for fraction, run in results.items()
+    }
+    assert rescues[0.60] > rescues[0.05]
+    # ...and some middle depth does at least as well on paging I/O as
+    # the near-zero list (the knob matters).
+    page_ins = {f: run.page_ins for f, run in results.items()}
+    assert min(
+        page_ins[0.15], page_ins[0.25], page_ins[0.40]
+    ) <= page_ins[0.05]

@@ -1,0 +1,67 @@
+"""Ablation: geometry-scale stability (DESIGN.md #3).
+
+Runs one measurement point at two different linear scale factors and
+checks that the ratio-level quantities the reproduction relies on
+(excess-fault fraction, zero-fill share, read-before-write fraction)
+are stable, supporting the DESIGN.md substitution argument.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.counters.events import Event
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.slc import SlcWorkload
+
+from conftest import bench_scale, once, shape_asserts_enabled
+
+
+def run_scales():
+    runner = ExperimentRunner()
+    length = min(bench_scale(), 1.0) * 0.5
+    table = Table(
+        "Ablation: ratio stability across machine scales "
+        "(SLC at 5 MB equivalent)",
+        ["Scale", "Page bytes", "N_ef/N_ds", "N_zfod/N_ds",
+         "w-hit fraction", "Page-ins"],
+    )
+    measurements = {}
+    for scale in (8, 16):
+        config = scaled_config(memory_ratio=40, scale=scale)
+        result = runner.run(
+            config, SlcWorkload(length_scale=length)
+        )
+        n_ds = max(1, result.event(Event.DIRTY_FAULT))
+        w_hit = result.event(Event.WRITE_TO_READ_FILLED_BLOCK)
+        w_miss = result.event(Event.WRITE_MISS_FILL)
+        measurements[scale] = {
+            "ef_frac": result.event(Event.DIRTY_BIT_MISS) / n_ds,
+            "zfod_frac": result.event(
+                Event.ZERO_FILL_DIRTY_FAULT
+            ) / n_ds,
+            "whit_frac": w_hit / max(1, w_hit + w_miss),
+            "page_ins": result.page_ins,
+        }
+        m = measurements[scale]
+        table.add_row(
+            scale, config.page_bytes, f"{m['ef_frac']:.3f}",
+            f"{m['zfod_frac']:.3f}", f"{m['whit_frac']:.3f}",
+            m["page_ins"],
+        )
+    return measurements, table
+
+
+def test_scale_ablation(benchmark, record_result):
+    measurements, table = once(benchmark, run_scales)
+    record_result("ablation_scale", table.render())
+    if not shape_asserts_enabled():
+        return
+    a, b = measurements[8], measurements[16]
+    assert abs(a["ef_frac"] - b["ef_frac"]) < 0.15
+    assert abs(a["zfod_frac"] - b["zfod_frac"]) < 0.20
+    assert abs(a["whit_frac"] - b["whit_frac"]) < 0.10
+    # Page-ins are a page-count phenomenon and should be of the same
+    # order at both scales (same number of pages of memory).
+    ratio = a["page_ins"] / max(1, b["page_ins"])
+    assert 0.4 < ratio < 2.5

@@ -1,0 +1,60 @@
+"""Ablation: in-cache translation behaviour (DESIGN.md #5).
+
+In-cache translation uses the unified cache as a very large TLB; its
+effectiveness is the PTE-in-cache hit ratio.  This bench measures that
+ratio under real workload traffic and shows the cache-size lever: a
+larger cache holds more PTE blocks and translates more cheaply, which
+is the design premise of [Wood86].
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.counters.events import Event
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.common.params import CacheGeometry
+from repro.workloads.slc import SlcWorkload
+
+from conftest import bench_scale, once, shape_asserts_enabled
+
+
+def run_translation_ablation():
+    runner = ExperimentRunner()
+    length = min(bench_scale(), 1.0) * 0.5
+    table = Table(
+        "Ablation: in-cache translation (SLC at 6 MB equivalent)",
+        ["Cache size", "PTE hit ratio", "2nd-level memory fetches",
+         "Translations"],
+    )
+    ratios = {}
+    import dataclasses
+    base_config = scaled_config(memory_ratio=48)
+    for cache_kb in (8, 16, 32):
+        config = dataclasses.replace(
+            base_config, cache=CacheGeometry(cache_kb * 1024, 32)
+        )
+        result = runner.run(
+            config, SlcWorkload(length_scale=length)
+        )
+        translations = max(1, result.event(Event.TRANSLATION))
+        hits = result.event(Event.PTE_CACHE_HIT)
+        ratios[cache_kb] = hits / translations
+        table.add_row(
+            f"{cache_kb} KB", f"{ratios[cache_kb]:.3f}",
+            result.event(Event.SECOND_LEVEL_MEMORY_ACCESS),
+            translations,
+        )
+    return ratios, table
+
+
+def test_translation_ablation(benchmark, record_result):
+    ratios, table = once(benchmark, run_translation_ablation)
+    record_result("ablation_translation", table.render())
+    if not shape_asserts_enabled():
+        return
+    # The cache must be doing real TLB duty...
+    assert ratios[16] > 0.35
+    # ...and more cache must never translate worse.
+    assert ratios[8] <= ratios[16] + 0.02
+    assert ratios[16] <= ratios[32] + 0.02

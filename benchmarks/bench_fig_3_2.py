@@ -1,0 +1,49 @@
+"""Figure 3.2: the SPUR page-table-entry and cache-tag formats.
+
+The diagram is rendered from the live :data:`PTE_LAYOUT` and
+:data:`CACHE_TAG_LAYOUT` declarations — the same objects the simulator
+packs and unpacks through — so the figure cannot drift from the
+implementation.
+"""
+
+from repro.cache.block import CACHE_TAG_LAYOUT
+from repro.translation.pte import PTE_LAYOUT
+
+from conftest import once
+
+
+def render_figure_3_2():
+    parts = [
+        "Figure 3.2: SPUR Page Table and Cache Line Format",
+        "",
+        "a) SPUR Page Table Entry Format",
+        PTE_LAYOUT.render(),
+        "",
+    ]
+    parts.extend(
+        f"  {field.name:<4} = {field.description}"
+        for field in reversed(PTE_LAYOUT.fields)
+    )
+    parts += [
+        "",
+        "b) SPUR Cache Tag Format",
+        CACHE_TAG_LAYOUT.render(),
+        "",
+    ]
+    parts.extend(
+        f"  {field.name:<4} = {field.description}"
+        for field in reversed(CACHE_TAG_LAYOUT.fields)
+    )
+    return "\n".join(parts)
+
+
+def test_figure_3_2(benchmark, record_result):
+    text = once(benchmark, render_figure_3_2)
+    record_result("figure_3_2", text)
+    # Every field the paper's figure names must appear.
+    for label in ("PR", "D", "R", "V", "PPN"):
+        assert f"{label}[" in text
+    for label in ("P[1]", "B[1]", "CS[2]"):
+        assert label in text
+    assert "Page Dirty Bit" in text
+    assert "Block Dirty Bit" in text

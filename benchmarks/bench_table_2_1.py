@@ -1,0 +1,46 @@
+"""Table 2.1: the SPUR system configuration.
+
+Regenerated from the live ``paper_config()`` object rather than a
+string table, so any drift between the documented and simulated
+machine shows up here.
+"""
+
+from repro.analysis.tables import Table
+from repro.common.units import (
+    SPUR_BUS_CYCLE_TIME_SECONDS,
+    SPUR_CYCLE_TIME_SECONDS,
+)
+from repro.machine.config import TABLE_2_1, paper_config
+
+from conftest import once
+
+
+def render_table_2_1():
+    config = paper_config(memory_mb=8)
+    table = Table("Table 2.1: SPUR System Configuration",
+                  ["Parameter", "Value"])
+    rows = (
+        ("Cache Size", f"{config.cache.size_bytes // 1024} Kbytes"),
+        ("Associativity", "Direct Mapped"),
+        ("Block Size", f"{config.cache.block_bytes} bytes"),
+        ("Page Size", f"{config.page_bytes // 1024} Kbytes"),
+        ("Instruction Buffer", "Disabled"),
+        ("Processor cycle time",
+         f"{SPUR_CYCLE_TIME_SECONDS * 1e9:.0f}ns"),
+        ("Backplane cycle time",
+         f"{SPUR_BUS_CYCLE_TIME_SECONDS * 1e9:.0f}ns"),
+        ("Time to first word",
+         f"{config.memory_timing.first_word_cycles} cycles"),
+        ("Time to next word",
+         f"{config.memory_timing.next_word_cycles} cycle"),
+    )
+    for label, value in rows:
+        table.add_row(label, value)
+    return rows, table
+
+
+def test_table_2_1(benchmark, record_result):
+    rows, table = once(benchmark, render_table_2_1)
+    record_result("table_2_1", table.render())
+    # The regenerated rows must match the transcription verbatim.
+    assert tuple(rows) == TABLE_2_1

@@ -1,0 +1,79 @@
+"""Simulator throughput: the one bench about the simulator itself.
+
+Tracks simulated references per second of host time for the hot-loop
+paths (hit-dominated, miss-heavy, and policy-slow-path traffic) with
+real pytest-benchmark statistics, so hot-loop regressions show up as
+numbers rather than as mysteriously slow experiment suites.
+"""
+
+import pytest
+
+from repro.common.params import CacheGeometry, FaultTiming
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import SpurMachine
+from repro.vm.segments import (
+    AddressSpaceMap,
+    ProcessAddressSpace,
+    RegionKind,
+)
+from repro.workloads.base import READ, WRITE
+
+TINY_PAGE = 128
+
+
+def tiny_machine(heap_pages=32):
+    space_map = AddressSpaceMap(TINY_PAGE)
+    space = ProcessAddressSpace(0, TINY_PAGE, 1 << 24, space_map)
+    heap = space.add_region("heap", RegionKind.HEAP,
+                            heap_pages * TINY_PAGE)
+    space_map.seal()
+    config = MachineConfig(
+        name="throughput",
+        cache=CacheGeometry(size_bytes=1024, block_bytes=32),
+        page_bytes=TINY_PAGE,
+        memory_bytes=16 * 1024,
+        wired_frames=2,
+        fault_timing=FaultTiming(page_io=5_000),
+        daemon_poll_refs=0,
+    )
+    return SpurMachine(config, space_map), heap
+
+
+def hit_trace(heap, count=20_000):
+    # Two blocks, all hits after warmup.
+    return [(READ, heap + (i & 1) * 32) for i in range(count)]
+
+
+def conflict_trace(heap, count=20_000):
+    # Stride through 3 pages' worth of blocks: heavy miss traffic in
+    # the 32-line tiny cache.
+    return [
+        (READ, heap + (i * 37 % 96) * 32) for i in range(count)
+    ]
+
+
+def write_trace(heap, count=20_000):
+    # Read-then-write pairs: the dirty-policy slow path.
+    trace = []
+    for i in range(count // 2):
+        addr = heap + (i * 13 % 64) * 32
+        trace.append((READ, addr))
+        trace.append((WRITE, addr))
+    return trace
+
+
+@pytest.mark.parametrize("shape,builder", [
+    ("hits", hit_trace),
+    ("misses", conflict_trace),
+    ("writes", write_trace),
+])
+def test_throughput(benchmark, shape, builder):
+    machine, heap = tiny_machine()
+    trace = builder(heap.start)
+    machine.run(trace)  # warm the machine once
+
+    benchmark(machine.run, trace)
+    # Sanity floor: even the slowest path should exceed 50k refs/s
+    # of host time on any modern machine.
+    refs_per_second = len(trace) / benchmark.stats.stats.mean
+    assert refs_per_second > 50_000, shape

@@ -1,0 +1,65 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures,
+writes the rendered artefact to ``benchmarks/results/``, asserts the
+reproduction targets DESIGN.md lists for it, and reports its wall time
+through pytest-benchmark (``--benchmark-only`` runs the full set).
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Workload length multiplier (default 1.0).  0.1 gives a fast smoke
+    pass with weaker statistics.
+``REPRO_BENCH_REPS``
+    Repetitions for the Table 4.1 matrix (default 2; the paper used 5).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_reps():
+    return int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+
+def shape_asserts_enabled():
+    """Whether the paper-shape assertions should run.
+
+    Quick smoke passes (``REPRO_BENCH_SCALE`` below 0.5) shorten the
+    traces past the point where paging statistics are meaningful; they
+    still regenerate every artefact but skip the shape checks.
+    """
+    return bench_scale() >= 0.5
+
+
+def write_result(name, text):
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def record_result(capsys):
+    """Write an artefact and echo it to the terminal."""
+
+    def _record(name, text):
+        path = write_result(name, text)
+        with capsys.disabled():
+            print(f"\n{text}\n  -> {path}")
+
+    return _record
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

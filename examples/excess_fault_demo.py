@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Figure 3.1, live: stale cached protection causing excess faults.
+
+Walks the exact scenario of the paper's Figure 3.1 on a real simulated
+machine under the FAULT (protection-emulation) policy, narrating each
+step, then replays it under the SPUR policy to show the same event
+becoming a 25-cycle dirty-bit miss instead of a ~1000-cycle fault.
+
+Run:
+    python examples/excess_fault_demo.py
+"""
+
+from repro.common.params import CacheGeometry, FaultTiming
+from repro.common.types import Protection
+from repro.counters.events import Event
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import SpurMachine
+from repro.vm.segments import AddressSpaceMap, ProcessAddressSpace
+from repro.vm.segments import RegionKind
+from repro.workloads.base import READ, WRITE
+
+
+def build_machine(dirty_policy):
+    space_map = AddressSpaceMap(4096)
+    space = ProcessAddressSpace(0, 4096, 1 << 24, space_map)
+    heap = space.add_region("heap", RegionKind.HEAP, 16 * 4096)
+    space_map.seal()
+    config = MachineConfig(
+        name="fig31-demo",
+        cache=CacheGeometry(size_bytes=128 * 1024, block_bytes=32),
+        page_bytes=4096,
+        memory_bytes=2 * 1024 * 1024,
+        wired_frames=2,
+        dirty_policy=dirty_policy,
+        fault_timing=FaultTiming(),
+        daemon_poll_refs=0,
+    )
+    return SpurMachine(config, space_map), heap.start
+
+
+def show_line(machine, vaddr, label):
+    index = machine.cache.probe(vaddr)
+    if index < 0:
+        print(f"    {label}: not cached")
+        return
+    view = machine.cache.view(index)
+    print(f"    {label}: cached, protection={view.protection.name}, "
+          f"page-dirty copy={int(view.page_dirty)}")
+
+
+def run_fault_policy():
+    print("=" * 68)
+    print("FAULT policy (emulate dirty bits with protection)")
+    print("=" * 68)
+    machine, page_a = build_machine("FAULT")
+    block0, block1 = page_a, page_a + 32
+
+    print("\n1. Read two blocks of Page A while the page is clean.")
+    machine.run([(READ, block0), (READ, block1)])
+    pte = machine.page_table.entry(page_a >> machine.page_bits)
+    print(f"    PTE: protection={pte.protection.name} "
+          f"(writable page mapped read-only: the emulation)")
+    show_line(machine, block0, "block 0")
+    show_line(machine, block1, "block 1")
+
+    print("\n2. Write block 0: protection fault; the handler sets the"
+          "\n   software dirty bit and promotes the PTE to read-write.")
+    before = machine.cycles
+    machine.run([(WRITE, block0)])
+    print(f"    cost: {machine.cycles - before - 1} handler cycles")
+    print(f"    PTE: protection={pte.protection.name}, "
+          f"software dirty={pte.software_dirty}")
+    show_line(machine, block0, "block 0")
+    show_line(machine, block1, "block 1  (STALE: Figure 3.1)")
+
+    print("\n3. Write block 1: the page is already writable, but the"
+          "\n   cached copy still says read-only -> EXCESS FAULT.")
+    before = machine.cycles
+    machine.run([(WRITE, block1)])
+    print(f"    cost: {machine.cycles - before - 1} handler cycles")
+    print(f"    excess faults counted: "
+          f"{machine.counters.read(Event.EXCESS_FAULT)}")
+    return machine
+
+
+def run_spur_policy():
+    print()
+    print("=" * 68)
+    print("SPUR policy (cached page-dirty bit + dirty-bit miss)")
+    print("=" * 68)
+    machine, page_a = build_machine("SPUR")
+    block0, block1 = page_a, page_a + 32
+
+    machine.run([(READ, block0), (READ, block1)])
+    print("\n1. Same two reads; blocks carry a clean page-dirty copy.")
+    show_line(machine, block0, "block 0")
+    show_line(machine, block1, "block 1")
+
+    print("\n2. Write block 0: PTE clean too -> one necessary dirty"
+          " fault.")
+    machine.run([(WRITE, block0)])
+
+    print("\n3. Write block 1: cached copy stale, but the hardware"
+          "\n   checks the PTE first: already dirty -> DIRTY-BIT MISS.")
+    before = machine.cycles
+    machine.run([(WRITE, block1)])
+    print(f"    cost: {machine.cycles - before - 1} cycles "
+          f"(vs ~1000 for the excess fault)")
+    print(f"    dirty-bit misses counted: "
+          f"{machine.counters.read(Event.DIRTY_BIT_MISS)}")
+    return machine
+
+
+def main():
+    fault_machine = run_fault_policy()
+    spur_machine = run_spur_policy()
+    print()
+    print("=" * 68)
+    saved = fault_machine.cycles - spur_machine.cycles
+    print(f"Same reference stream; SPUR's mechanism saved {saved} "
+          f"cycles on one\nstale block. The paper's point: such blocks "
+          f"are rare enough that the\nhardware wasn't worth it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The Section 3.3 page-out study (Table 3.5), in miniature.
+
+Simulates the six Sprite development-machine profiles and asks the
+paper's question: of the writable pages replaced, how many were
+actually modified — i.e. how much paging I/O do dirty bits really
+save on big-memory machines?
+
+Run:
+    python examples/pageout_study.py [length_scale]
+"""
+
+import sys
+
+from repro.analysis.experiments import run_table_3_5
+
+
+def main():
+    length_scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+
+    print(f"simulating six development machines "
+          f"(length_scale={length_scale}) ...\n")
+    rows, table = run_table_3_5(length_scale=length_scale)
+    print(table.render())
+
+    print("\nthe paper's reading:")
+    for row in rows:
+        modified_pct = 100.0 - row.percent_not_modified
+        print(f"  {row.hostname:>10} ({row.memory_mb:>2} MB): "
+              f"{modified_pct:.0f}% of writable pages were dirty at "
+              f"replacement; dropping dirty bits would add "
+              f"{row.percent_additional_io:.1f}% paging I/O")
+    big = [r for r in rows if r.memory_mb >= 12]
+    if all(100 - r.percent_not_modified >= 90 for r in big):
+        print("\n  => at 12 MB and beyond, 90%+ of writable pages are "
+              "modified anyway:\n     dirty bits buy almost nothing, "
+              "and the benefit shrinks as memory grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the SPUR machine.
+
+Builds the scaled SPUR configuration at the paper's 6 MB-equivalent
+memory point, runs a shortened SLC (Lisp compiler) workload, and
+prints the headline measurements the paper's analysis consumes —
+exactly what you would read off the prototype's performance counters.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentRunner, SlcWorkload, scaled_config
+from repro.counters.events import Event
+
+
+def main():
+    # A machine: 16 KB direct-mapped virtual cache, 512-byte pages,
+    # memory at 48x the cache size (the 6 MB-equivalent point), the
+    # SPUR dirty-bit mechanism, and MISS-approximated reference bits.
+    config = scaled_config(
+        memory_ratio=48,
+        dirty_policy="SPUR",
+        reference_policy="MISS",
+    )
+
+    # A workload: the SPUR Lisp compiler stand-in, shortened 4x for a
+    # quick demonstration (drop length_scale for the full run).
+    workload = SlcWorkload(length_scale=0.25)
+
+    print(f"simulating {workload.name} on {config.name} ...")
+    result = ExperimentRunner().run(config, workload)
+
+    print(f"\n  references        {result.references:>12,}")
+    print(f"  cycles            {result.cycles:>12,}")
+    print(f"  simulated elapsed {result.elapsed_seconds:>11.2f}s "
+          f"(at the prototype's 150 ns cycle)")
+    print(f"  cycles/reference  {result.cycles_per_reference:>12.2f}")
+
+    print("\n  virtual-memory activity")
+    print(f"    page-ins        {result.page_ins:>10,}")
+    print(f"    page-outs       {result.page_outs:>10,}")
+    print(f"    zero-fills      {result.zero_fills:>10,}")
+
+    print("\n  dirty-bit events (the paper's Table 3.3 quantities)")
+    n_ds = result.event(Event.DIRTY_FAULT)
+    n_zfod = result.event(Event.ZERO_FILL_DIRTY_FAULT)
+    n_dm = result.event(Event.DIRTY_BIT_MISS)
+    w_hit = result.event(Event.WRITE_TO_READ_FILLED_BLOCK)
+    w_miss = result.event(Event.WRITE_MISS_FILL)
+    print(f"    N_ds   (necessary dirty faults)   {n_ds:>8,}")
+    print(f"    N_zfod (on zero-fill pages)       {n_zfod:>8,}")
+    print(f"    N_dm   (dirty-bit misses = N_ef)  {n_dm:>8,}")
+    print(f"    N_w-hit / N_w-miss                {w_hit:>8,} /"
+          f" {w_miss:,}")
+    if n_ds:
+        print(f"    excess-fault fraction             "
+              f"{n_dm / n_ds:>8.1%}")
+
+    print("\n  reference-bit events")
+    print(f"    reference faults  "
+          f"{result.event(Event.REFERENCE_FAULT):>8,}")
+    print(f"    daemon scans      "
+          f"{result.event(Event.DAEMON_PAGE_SCAN):>8,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""In-cache address translation, step by step.
+
+SPUR has no TLB: page-table entries live in the global virtual space
+and compete with data for the unified cache [Wood86].  This example
+walks single references through the machine and shows what the
+translation engine does on each: PTE cache hits, second-level lookups,
+wired-table memory fetches, and the conflict case where a PTE fill
+evicts a data block.
+
+Run:
+    python examples/translation_walkthrough.py
+"""
+
+from repro.common.params import CacheGeometry, FaultTiming
+from repro.counters.events import Event
+from repro.machine.config import MachineConfig
+from repro.machine.simulator import SpurMachine
+from repro.vm.segments import (
+    AddressSpaceMap,
+    ProcessAddressSpace,
+    RegionKind,
+)
+from repro.workloads.base import READ
+
+
+def build_machine():
+    space_map = AddressSpaceMap(4096)
+    space = ProcessAddressSpace(0, 4096, 1 << 26, space_map)
+    heap = space.add_region("heap", RegionKind.HEAP, 4096 * 4096)
+    space_map.seal()
+    config = MachineConfig(
+        name="walkthrough",
+        cache=CacheGeometry(size_bytes=128 * 1024, block_bytes=32),
+        page_bytes=4096,
+        memory_bytes=8 * 1024 * 1024,
+        wired_frames=2,
+        daemon_poll_refs=0,
+    )
+    return SpurMachine(config, space_map), heap
+
+
+def snapshot(machine):
+    counters = machine.counters
+    return {
+        "translations": counters.read(Event.TRANSLATION),
+        "pte_hits": counters.read(Event.PTE_CACHE_HIT),
+        "pte_misses": counters.read(Event.PTE_CACHE_MISS),
+        "second_memory": counters.read(
+            Event.SECOND_LEVEL_MEMORY_ACCESS
+        ),
+    }
+
+
+def describe(machine, before, after, cycles):
+    delta = {key: after[key] - before[key] for key in after}
+    if delta["translations"] == 0:
+        print(f"    cache hit: no translation, {cycles} cycle(s)")
+        return
+    if delta["pte_hits"]:
+        print(f"    miss -> PTE found in cache (3-cycle check), "
+              f"{cycles} cycles total")
+    elif delta["second_memory"]:
+        print(f"    miss -> PTE not cached -> second-level PTE "
+              f"fetched from wired memory\n    -> first-level PTE "
+              f"block fetched and cached, {cycles} cycles total")
+    else:
+        print(f"    miss -> PTE not cached -> second-level PTE was "
+              f"cached\n    -> first-level PTE block fetched, "
+              f"{cycles} cycles total")
+
+
+def reference(machine, vaddr, label):
+    print(f"\n{label}")
+    before = snapshot(machine)
+    start = machine.cycles
+    machine.run([(READ, vaddr)])
+    describe(machine, before, snapshot(machine),
+             machine.cycles - start)
+
+
+def main():
+    machine, heap = build_machine()
+    layout = machine.page_table.layout
+    base = heap.start
+
+    print("SPUR in-cache translation walkthrough")
+    print(f"  PTE for vpn v lives at {layout.pte_base:#x} + 4*v "
+          f"(shift-and-concatenate)")
+
+    reference(machine, base,
+              "1. First touch of page 0: cold everything.")
+    reference(machine, base + 8,
+              "2. Same block again: pure cache hit.")
+    reference(machine, base + 64,
+              "3. Different block, same page: data miss, PTE cached.")
+    reference(machine, base + 3 * 4096,
+              "4. Nearby page: its PTE shares the cached PTE block\n"
+              "   (eight 4-byte PTEs per 32-byte block — the 'very\n"
+              "   large TLB' effect).")
+    reference(machine, base + 4000 * 4096,
+              "5. Far page: PTE block not cached; the wired second\n"
+              "   level saves the day.  (First touch also takes a\n"
+              "   page fault and a zero fill, hence the big total.)")
+
+    pte_vaddr = layout.pte_vaddr(base >> 12)
+    print("\nwhere translation state lives in the cache:")
+    index = machine.cache.probe(pte_vaddr)
+    if index >= 0:
+        print(f"  the PTE block for page 0 sits in cache line {index} "
+              f"alongside ordinary\n  data; a conflicting fill can "
+              f"evict it, and vice versa — that\n  competition is "
+              f"in-cache translation's defining trade-off.")
+    else:
+        print("  the PTE block for page 0 has already been EVICTED by "
+              "later traffic —\n  PTE blocks compete with data for "
+              "frames, which is in-cache\n  translation's defining "
+              "trade-off.")
+
+
+if __name__ == "__main__":
+    main()

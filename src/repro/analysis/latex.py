@@ -1,0 +1,77 @@
+"""LaTeX output for regenerated tables.
+
+Reproduction results usually end up in a paper or report; this module
+converts the ASCII :class:`~repro.analysis.tables.Table` objects the
+experiment drivers return into ``tabular`` environments, with the
+special characters of cell text escaped and the paper-comparison rows
+styled as grey subordinate lines.
+"""
+
+import re
+
+#: Characters that must be escaped in LaTeX text mode.
+_ESCAPES = {
+    "\\": r"\textbackslash{}",
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+}
+
+_ESCAPE_PATTERN = re.compile(
+    "|".join(re.escape(ch) for ch in _ESCAPES)
+)
+
+
+def escape(text):
+    """Escape LaTeX special characters in one cell's text."""
+    return _ESCAPE_PATTERN.sub(
+        lambda match: _ESCAPES[match.group()], str(text)
+    )
+
+
+def table_to_latex(table, caption=None, label=None,
+                   paper_row_prefix="  (paper"):
+    """Render a :class:`Table` as a LaTeX ``table`` environment.
+
+    Rows whose first cell starts with ``paper_row_prefix`` (the
+    drivers' published-value companion rows) are set in grey; ASCII
+    separator rows become ``\\midrule``.
+    """
+    columns = len(table.columns)
+    lines = [
+        r"\begin{table}[t]",
+        r"\centering",
+        r"\begin{tabular}{" + "l" * columns + "}",
+        r"\toprule",
+        " & ".join(escape(cell) for cell in table.columns) + r" \\",
+        r"\midrule",
+    ]
+    for row in table.rows:
+        if row is None:
+            lines.append(r"\midrule")
+            continue
+        cells = [escape(cell) for cell in row]
+        body = " & ".join(cells) + r" \\"
+        if str(row[0]).startswith(paper_row_prefix):
+            body = r"\textcolor{gray}{" + body[:-2].strip() + r"} \\"
+        lines.append(body)
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    if caption or table.title:
+        lines.append(
+            r"\caption{" + escape(caption or table.title) + "}"
+        )
+    if label:
+        lines.append(r"\label{" + label + "}")
+    for note in table.notes:
+        lines.append(
+            r"\par\footnotesize " + escape(note)
+        )
+    lines.append(r"\end{table}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Every reproduction bench prints paper-versus-measured side by side;
+this module is the single home of the transcription so typos can be
+fixed in one place.  Units follow the paper: Table 3.3's block counts
+are in thousands; Table 3.4's overheads in millions of cycles.
+"""
+
+from repro.policies.costs import EventCounts, TimeParameters
+
+#: Table 3.2 exactly.
+TABLE_3_2 = TimeParameters(t_ds=1000, t_flush=500, t_dm=25, t_dc=5)
+
+#: Table 3.3: {(workload, memory MB): (EventCounts, elapsed seconds)}.
+#: N_w-hit / N_w-miss were published in millions (see W_COUNT_SCALE);
+#: stored here as raw counts.
+TABLE_3_3 = {
+    ("SLC", 5): (
+        EventCounts(n_ds=2349, n_zfod=905, n_ef=237,
+                    n_w_hit=1_270_000, n_w_miss=7_380_000),
+        948,
+    ),
+    ("SLC", 6): (
+        EventCounts(n_ds=1838, n_zfod=905, n_ef=143,
+                    n_w_hit=839_000, n_w_miss=5_110_000),
+        502,
+    ),
+    ("SLC", 8): (
+        EventCounts(n_ds=1661, n_zfod=905, n_ef=120,
+                    n_w_hit=612_000, n_w_miss=3_680_000),
+        341,
+    ),
+    ("WORKLOAD1", 5): (
+        EventCounts(n_ds=9860, n_zfod=5286, n_ef=1534,
+                    n_w_hit=6_150_000, n_w_miss=34_000_000),
+        3016,
+    ),
+    ("WORKLOAD1", 6): (
+        EventCounts(n_ds=7843, n_zfod=5181, n_ef=456,
+                    n_w_hit=4_920_000, n_w_miss=20_400_000),
+        2535,
+    ),
+    ("WORKLOAD1", 8): (
+        EventCounts(n_ds=7471, n_zfod=5182, n_ef=364,
+                    n_w_hit=4_100_000, n_w_miss=17_300_000),
+        2555,
+    ),
+}
+
+#: The published N_w-hit / N_w-miss columns print values like "6.15";
+#: the WRITE row of Table 3.4 only reproduces if those are read as
+#: millions (WORKLOAD1 at 5 MB: 4.574M + 6.15e6 * 5 cycles = 35.3M
+#: cycles, the published value), so they are stored here as raw counts.
+W_COUNT_SCALE = 1_000_000
+
+#: Table 3.4: {(workload, MB): {policy: (Mcycles, ratio to MIN)}}.
+TABLE_3_4 = {
+    ("SLC", 5): {
+        "MIN": (1.44, 1.00), "FAULT": (1.68, 1.16),
+        "FLUSH": (2.17, 1.50), "SPUR": (1.49, 1.03),
+        "WRITE": (7.81, 5.41),
+    },
+    ("SLC", 6): {
+        "MIN": (0.933, 1.00), "FAULT": (1.08, 1.15),
+        "FLUSH": (1.40, 1.50), "SPUR": (0.960, 1.03),
+        "WRITE": (5.13, 5.50),
+    },
+    ("SLC", 8): {
+        "MIN": (0.756, 1.00), "FAULT": (0.876, 1.16),
+        "FLUSH": (1.13, 1.50), "SPUR": (0.778, 1.03),
+        "WRITE": (3.82, 5.05),
+    },
+    ("WORKLOAD1", 5): {
+        "MIN": (4.57, 1.00), "FAULT": (6.11, 1.34),
+        "FLUSH": (6.86, 1.50), "SPUR": (4.73, 1.03),
+        "WRITE": (35.3, 7.72),
+    },
+    ("WORKLOAD1", 6): {
+        "MIN": (2.66, 1.00), "FAULT": (3.12, 1.17),
+        "FLUSH": (3.99, 1.50), "SPUR": (2.74, 1.03),
+        "WRITE": (27.3, 10.2),
+    },
+    ("WORKLOAD1", 8): {
+        "MIN": (2.29, 1.00), "FAULT": (2.65, 1.16),
+        "FLUSH": (3.43, 1.50), "SPUR": (2.36, 1.03),
+        "WRITE": (22.8, 9.95),
+    },
+}
+
+#: Table 3.5 rows: (hostname, memory MB, uptime h, page-ins,
+#: potentially modified, not modified, % not modified, % additional).
+TABLE_3_5 = (
+    ("mace", 8, 70, 15203, 2681, 488, 18, 2.8),
+    ("sloth", 8, 37, 10566, 2146, 129, 6, 1.0),
+    ("mace", 8, 46, 48722, 5198, 814, 16, 1.4),
+    ("sage", 12, 45, 5246, 544, 14, 3, 0.2),
+    ("fenugreek", 12, 36, 8556, 1154, 58, 5, 0.6),
+    ("murder", 16, 119, 23302, 12944, 895, 7, 2.5),
+)
+
+#: Table 4.1: {(workload, MB, policy): (page-ins, pct, elapsed s, pct)}.
+TABLE_4_1 = {
+    ("SLC", 5, "MISS"): (4647, 100, 948, 100),
+    ("SLC", 5, "REF"): (4738, 102, 1020, 108),
+    ("SLC", 5, "NOREF"): (8230, 177, 1341, 141),
+    ("SLC", 6, "MISS"): (1833, 100, 502, 100),
+    ("SLC", 6, "REF"): (1866, 102, 534, 106),
+    ("SLC", 6, "NOREF"): (3465, 189, 703, 140),
+    ("SLC", 8, "MISS"): (1056, 100, 341, 100),
+    ("SLC", 8, "REF"): (1062, 101, 342, 101),
+    ("SLC", 8, "NOREF"): (1512, 143, 382, 112),
+    ("WORKLOAD1", 5, "MISS"): (11959, 100, 3016, 100),
+    ("WORKLOAD1", 5, "REF"): (11119, 93, 3153, 105),
+    ("WORKLOAD1", 5, "NOREF"): (16045, 134, 3214, 107),
+    ("WORKLOAD1", 6, "MISS"): (3556, 100, 2535, 100),
+    ("WORKLOAD1", 6, "REF"): (3617, 102, 2677, 106),
+    ("WORKLOAD1", 6, "NOREF"): (5073, 143, 2555, 101),
+    ("WORKLOAD1", 8, "MISS"): (1837, 100, 2555, 100),
+    ("WORKLOAD1", 8, "REF"): (1790, 97, 2701, 106),
+    ("WORKLOAD1", 8, "NOREF"): (1926, 105, 2505, 98),
+}
+
+#: Memory sizes measured (MB) and their cache-ratio equivalents.
+MEMORY_POINTS = ((5, 40), (6, 48), (8, 64))

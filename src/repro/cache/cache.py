@@ -1,0 +1,263 @@
+"""The direct-mapped virtual-address cache.
+
+Per-line tag state is kept in parallel Python lists rather than line
+objects because the simulator touches these fields on every simulated
+reference; the lists are deliberately public so the machine's hot loop
+can read them without a method call.  All *mutations* other than the
+single-field updates the hot loop performs (block-dirty, page-dirty,
+protection refreshes) go through methods on this class, which keep the
+arrays mutually consistent.
+
+Addresses are *global virtual* addresses throughout: SPUR's OS-level
+synonym prevention guarantees one global address per datum, so the
+cache never needs physical tags.
+"""
+
+from repro.cache.block import CacheLineView
+from repro.cache.coherence import BerkeleyOwnership, BusOp, CoherencyState
+from repro.common.types import Protection
+
+
+class VirtualCache:
+    """A direct-mapped, write-back, virtually addressed unified cache.
+
+    Parameters
+    ----------
+    geometry:
+        :class:`repro.common.params.CacheGeometry`.
+    timing:
+        :class:`repro.common.params.MemoryTiming` used to price block
+        transfers.
+    name:
+        Identifier used by the bus and in diagnostics.
+    """
+
+    def __init__(self, geometry, timing, name="cache0"):
+        self.geometry = geometry
+        self.timing = timing
+        self.name = name
+        self.bus = None  # set when attached to a SnoopyBus
+
+        num_lines = geometry.num_lines
+        self.num_lines = num_lines
+        self.block_bits = geometry.block_bits
+        self.index_mask = num_lines - 1
+        self.tag_shift = geometry.block_bits + geometry.index_bits
+        self.block_transfer_cycles = timing.block_transfer_cycles(
+            geometry.words_per_block
+        )
+
+        # Parallel per-line tag arrays (hot path reads these directly).
+        self.valid = [False] * num_lines
+        self.tags = [0] * num_lines
+        self.line_vaddr = [0] * num_lines  # block-aligned fill address
+        self.prot = [int(Protection.NONE)] * num_lines
+        self.page_dirty = [False] * num_lines
+        self.block_dirty = [False] * num_lines
+        self.state = [CoherencyState.INVALID] * num_lines
+        self.filled_by_read = [False] * num_lines
+        self.holds_pte = [False] * num_lines
+
+        self.stats = {
+            "fills": 0,
+            "evictions": 0,
+            "write_backs": 0,
+            "invalidations": 0,
+        }
+
+    # -- lookup ----------------------------------------------------------
+
+    def line_index(self, vaddr):
+        """Direct-mapped frame index for a virtual address."""
+        return (vaddr >> self.block_bits) & self.index_mask
+
+    def tag_of(self, vaddr):
+        """Virtual-address tag for a virtual address."""
+        return vaddr >> self.tag_shift
+
+    def probe(self, vaddr):
+        """Return the line index if ``vaddr`` hits, else ``-1``.
+
+        A probe is side-effect free (no LRU state exists in a
+        direct-mapped cache).
+        """
+        index = (vaddr >> self.block_bits) & self.index_mask
+        if self.valid[index] and self.tags[index] == (
+            vaddr >> self.tag_shift
+        ):
+            return index
+        return -1
+
+    def view(self, index):
+        """A read-only snapshot of one line, for tests and tools."""
+        return CacheLineView(
+            index=index,
+            valid=self.valid[index],
+            vaddr=self.line_vaddr[index],
+            protection=Protection(self.prot[index]),
+            page_dirty=self.page_dirty[index],
+            block_dirty=self.block_dirty[index],
+            state=self.state[index],
+            filled_by_read=self.filled_by_read[index],
+            holds_pte=self.holds_pte[index],
+        )
+
+    def resident_lines(self):
+        """Indices of all valid lines."""
+        return [i for i in range(self.num_lines) if self.valid[i]]
+
+    # -- fills and evictions ----------------------------------------------
+
+    def fill(self, vaddr, protection, page_dirty, by_write,
+             holds_pte=False):
+        """Bring the block containing ``vaddr`` into its frame.
+
+        Evicts the previous occupant (writing it back if it is owned
+        dirty data) and installs the new block with protection and
+        page-dirty state copied from the PTE — the copy operation whose
+        staleness the whole paper is about.
+
+        Returns ``(line index, cycles)`` where cycles covers the block
+        fetch and any write-back.
+        """
+        index = (vaddr >> self.block_bits) & self.index_mask
+        cycles = 0
+        if self.valid[index]:
+            cycles += self._evict(index)
+
+        self.valid[index] = True
+        self.tags[index] = vaddr >> self.tag_shift
+        self.line_vaddr[index] = vaddr & ~(
+            (1 << self.block_bits) - 1
+        )
+        self.prot[index] = int(protection)
+        self.page_dirty[index] = page_dirty
+        self.block_dirty[index] = by_write
+        self.filled_by_read[index] = not by_write
+        self.holds_pte[index] = holds_pte
+        if by_write:
+            self.state[index] = BerkeleyOwnership.on_write_fill()
+            self._broadcast(BusOp.READ_OWNED, vaddr)
+        else:
+            self.state[index] = BerkeleyOwnership.on_read_fill(False)
+            self._broadcast(BusOp.READ, vaddr)
+        cycles += self.block_transfer_cycles
+        self.stats["fills"] += 1
+        return index, cycles
+
+    def _evict(self, index):
+        """Vacate one line, returning write-back cycles (0 if clean)."""
+        cycles = 0
+        if self.block_dirty[index] or self.state[index].is_owned:
+            if self.block_dirty[index]:
+                cycles += self.block_transfer_cycles
+                self.stats["write_backs"] += 1
+                self._broadcast(BusOp.WRITE_BACK, self.line_vaddr[index])
+        self.valid[index] = False
+        self.state[index] = CoherencyState.INVALID
+        self.block_dirty[index] = False
+        self.stats["evictions"] += 1
+        return cycles
+
+    def invalidate(self, index, write_back=True):
+        """Invalidate one line.
+
+        Returns write-back cycles (0 if the line was clean or
+        ``write_back`` is False, as when a snoop transfers ownership).
+        """
+        if not self.valid[index]:
+            return 0
+        cycles = 0
+        if write_back and self.block_dirty[index]:
+            cycles += self.block_transfer_cycles
+            self.stats["write_backs"] += 1
+        self.valid[index] = False
+        self.state[index] = CoherencyState.INVALID
+        self.block_dirty[index] = False
+        self.stats["invalidations"] += 1
+        return cycles
+
+    def clear(self):
+        """Invalidate every line without write-backs (power-on state)."""
+        for index in range(self.num_lines):
+            self.valid[index] = False
+            self.state[index] = CoherencyState.INVALID
+            self.block_dirty[index] = False
+
+    # -- write-hit coherency ------------------------------------------------
+
+    def acquire_ownership(self, index):
+        """Perform the coherency work for a processor write hit.
+
+        Returns True if a bus transaction was required (write to an
+        unowned or shared-owned block).
+        """
+        next_state, bus_op = BerkeleyOwnership.on_write_hit(
+            self.state[index]
+        )
+        self.state[index] = next_state
+        if bus_op is not None:
+            self._broadcast(bus_op, self.line_vaddr[index])
+            return True
+        return False
+
+    # -- page-granularity helpers ---------------------------------------------
+
+    def page_line_range(self, page_vaddr, page_bytes):
+        """Line indices where blocks of the given page can reside.
+
+        In a direct-mapped cache a page's blocks occupy a contiguous
+        run of ``page_bytes / block_bytes`` frames (wrapping if the
+        page is larger than the cache).
+        """
+        blocks_per_page = page_bytes >> self.block_bits
+        if blocks_per_page >= self.num_lines:
+            return range(self.num_lines)
+        first = (page_vaddr >> self.block_bits) & self.index_mask
+        return [
+            (first + offset) & self.index_mask
+            for offset in range(blocks_per_page)
+        ]
+
+    def lines_of_page(self, page_vaddr, page_bytes):
+        """Indices of valid lines actually holding blocks of the page."""
+        limit = page_vaddr + page_bytes
+        return [
+            index
+            for index in self.page_line_range(page_vaddr, page_bytes)
+            if self.valid[index]
+            and page_vaddr <= self.line_vaddr[index] < limit
+        ]
+
+    # -- bus plumbing -------------------------------------------------------
+
+    def _broadcast(self, bus_op, vaddr):
+        if self.bus is not None:
+            self.bus.broadcast(self, bus_op, vaddr)
+
+    def snoop(self, bus_op, vaddr):
+        """React to another cache's bus transaction.
+
+        Returns ``(supplied data, wrote back)`` for bus accounting.
+        """
+        index = self.probe(vaddr)
+        if index < 0:
+            return False, False
+        next_state, supplies, writes_back = BerkeleyOwnership.on_snoop(
+            self.state[index], bus_op
+        )
+        if next_state is CoherencyState.INVALID:
+            # Ownership (and the dirty data) moves over the bus; no
+            # memory write-back is needed.
+            self.invalidate(index, write_back=False)
+        else:
+            self.state[index] = next_state
+        return supplies, writes_back
+
+    def __repr__(self):
+        resident = sum(self.valid)
+        return (
+            f"VirtualCache({self.name!r}, "
+            f"{self.geometry.size_bytes} bytes, "
+            f"{resident}/{self.num_lines} lines valid)"
+        )

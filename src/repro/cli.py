@@ -1,0 +1,387 @@
+"""Command-line interface: regenerate tables and run experiments.
+
+::
+
+    python -m repro table 3.3            # regenerate one paper table
+    python -m repro table 3.4 --source paper
+    python -m repro table 4.1 --reps 3 --length 0.5
+    python -m repro run --workload slc --memory-ratio 48 \\
+        --dirty FAULT --ref MISS
+    python -m repro formats              # Figure 3.2 bit layouts
+    python -m repro all --out-dir out/   # everything, to files
+
+All commands print the rendered artefact; ``--out`` / ``--out-dir``
+additionally write it to disk.  Everything is seeded and reproducible.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis.experiments import (
+    build_table_3_4,
+    run_table_3_3,
+    run_table_3_5,
+    run_table_4_1,
+)
+from repro.counters.events import Event
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.devsystems import (
+    DEV_SYSTEM_PROFILES,
+    DevSystemWorkload,
+)
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+TABLE_CHOICES = ("2.1", "3.1", "3.2", "3.3", "3.4", "3.5", "4.1")
+
+
+def _emit(text, out=None):
+    print(text)
+    if out:
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"\nwritten to {path}", file=sys.stderr)
+
+
+def _workload_by_name(name, length_scale):
+    if name.endswith(".json"):
+        from repro.workloads.scripted import ScriptedWorkload
+
+        return ScriptedWorkload(name, length_scale=length_scale)
+    lowered = name.lower()
+    if lowered in ("slc", "lisp"):
+        return SlcWorkload(length_scale=length_scale)
+    if lowered in ("workload1", "w1", "cad"):
+        return Workload1(length_scale=length_scale)
+    if lowered.startswith("dev-"):
+        host = lowered[4:]
+        for profile in DEV_SYSTEM_PROFILES:
+            if profile.hostname == host:
+                return DevSystemWorkload(profile,
+                                         length_scale=length_scale)
+        raise SystemExit(
+            f"unknown host {host!r}; known: "
+            f"{sorted({p.hostname for p in DEV_SYSTEM_PROFILES})}"
+        )
+    raise SystemExit(
+        f"unknown workload {name!r}; try slc, workload1, "
+        f"dev-<host>, or a .json spec file"
+    )
+
+
+def cmd_table(args):
+    """Regenerate one paper table by number."""
+    number = args.number
+    if number == "2.1":
+        # Import locally: the bench module owns the renderer.
+        from repro.analysis.tables import Table
+        from repro.machine.config import TABLE_2_1
+
+        table = Table("Table 2.1: SPUR System Configuration",
+                      ["Parameter", "Value"])
+        for label, value in TABLE_2_1:
+            table.add_row(label, value)
+        _emit(table.render(), args.out)
+    elif number == "3.1":
+        from repro.analysis.tables import Table
+        from repro.policies.dirty import make_dirty_policy
+
+        table = Table(
+            "Table 3.1: Dirty Bit Implementation Alternatives",
+            ["Policy", "Description"],
+        )
+        for name in ("FAULT", "FLUSH", "SPUR", "WRITE", "MIN"):
+            doc = make_dirty_policy(name).__doc__.strip()
+            table.add_row(name, doc.splitlines()[0])
+        _emit(table.render(), args.out)
+    elif number == "3.2":
+        from repro.analysis import paper_data
+        from repro.analysis.tables import Table
+
+        times = paper_data.TABLE_3_2
+        table = Table("Table 3.2: Time Parameters",
+                      ["Parameter", "Cycle Count"])
+        for name in ("t_ds", "t_flush", "t_dm", "t_dc"):
+            table.add_row(name, getattr(times, name))
+        _emit(table.render(), args.out)
+    elif number == "3.3":
+        _, table = run_table_3_3(length_scale=args.length,
+                                 seed=args.seed)
+        _emit(table.render(), args.out)
+    elif number == "3.4":
+        if args.source == "paper":
+            _, table = build_table_3_4(
+                exclude_zero_fill=not args.include_zero_fill
+            )
+        else:
+            rows, _ = run_table_3_3(length_scale=args.length,
+                                    seed=args.seed)
+            _, table = build_table_3_4(
+                rows, exclude_zero_fill=not args.include_zero_fill
+            )
+        _emit(table.render(), args.out)
+    elif number == "3.5":
+        _, table = run_table_3_5(length_scale=args.length,
+                                 seed=args.seed)
+        _emit(table.render(), args.out)
+    elif number == "4.1":
+        _, table = run_table_4_1(length_scale=args.length,
+                                 repetitions=args.reps)
+        _emit(table.render(), args.out)
+    return 0
+
+
+def cmd_run(args):
+    """One simulation run; prints the headline measurements."""
+    config = scaled_config(
+        memory_ratio=args.memory_ratio,
+        dirty_policy=args.dirty.upper(),
+        reference_policy=args.ref.upper(),
+    )
+    workload = _workload_by_name(args.workload, args.length)
+    result = ExperimentRunner().run(config, workload, seed=args.seed)
+
+    lines = [
+        f"workload            {result.workload}",
+        f"memory              {args.memory_ratio}x cache "
+        f"({config.memory_bytes} bytes)",
+        f"policies            dirty={result.dirty_policy} "
+        f"ref={result.reference_policy}",
+        f"references          {result.references:,}",
+        f"cycles              {result.cycles:,}",
+        f"elapsed (simulated) {result.elapsed_seconds:.2f} s",
+        f"page-ins            {result.page_ins:,}",
+        f"page-outs           {result.page_outs:,}",
+        f"zero-fills          {result.zero_fills:,}",
+        f"dirty faults        {result.event(Event.DIRTY_FAULT):,}"
+        f" ({result.event(Event.ZERO_FILL_DIRTY_FAULT):,} zero-fill)",
+        f"dirty-bit misses    "
+        f"{result.event(Event.DIRTY_BIT_MISS):,}",
+        f"excess faults       {result.event(Event.EXCESS_FAULT):,}",
+        f"reference faults    "
+        f"{result.event(Event.REFERENCE_FAULT):,}",
+    ]
+    _emit("\n".join(lines), args.out)
+    return 0
+
+
+def cmd_formats(args):
+    """Render the Figure 3.2 bit layouts."""
+    from repro.cache.block import CACHE_TAG_LAYOUT
+    from repro.translation.pte import PTE_LAYOUT
+
+    _emit(
+        "\n\n".join([PTE_LAYOUT.render(), CACHE_TAG_LAYOUT.render()]),
+        args.out,
+    )
+    return 0
+
+
+def cmd_all(args):
+    """Regenerate the main tables into a directory."""
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jobs = (
+        ("table_3_3", lambda: run_table_3_3(
+            length_scale=args.length)[1]),
+        ("table_3_4_paper", lambda: build_table_3_4()[1]),
+        ("table_3_5", lambda: run_table_3_5(
+            length_scale=args.length)[1]),
+        ("table_4_1", lambda: run_table_4_1(
+            length_scale=args.length, repetitions=args.reps)[1]),
+    )
+    for name, job in jobs:
+        print(f"regenerating {name} ...", file=sys.stderr)
+        table = job()
+        (out_dir / f"{name}.txt").write_text(table.render() + "\n")
+    print(f"artefacts in {out_dir}", file=sys.stderr)
+    return 0
+
+
+def cmd_characterize(args):
+    """Measure a workload's reference-stream properties."""
+    from repro.analysis.tracestats import analyze_trace
+    from repro.machine.config import scaled_config
+
+    page_bytes = scaled_config().page_bytes
+    workload = _workload_by_name(args.workload, args.length)
+    instance = workload.instantiate(page_bytes, seed=args.seed)
+    stats = analyze_trace(
+        instance.accesses(), page_bytes=page_bytes,
+        max_references=args.max_references,
+    )
+    _emit(
+        f"workload {instance.name} "
+        f"({page_bytes}-byte pages)\n"
+        + "\n".join(stats.summary_lines()),
+        args.out,
+    )
+    return 0
+
+
+def cmd_record(args):
+    """Capture a workload's reference stream to disk."""
+    from repro.machine.config import scaled_config
+    from repro.workloads.recorded import record_workload
+
+    page_bytes = scaled_config().page_bytes
+    workload = _workload_by_name(args.workload, args.length)
+    count = record_workload(
+        workload, page_bytes, args.trace, seed=args.seed,
+        max_references=args.max_references,
+    )
+    print(f"recorded {count:,} references of {workload.name} to "
+          f"{args.trace} (+ .regions sidecar)", file=sys.stderr)
+    return 0
+
+
+def cmd_replay(args):
+    """Simulate a recorded trace under chosen policies."""
+    from repro.workloads.recorded import RecordedWorkload
+
+    workload = RecordedWorkload(args.trace)
+    config = scaled_config(
+        memory_ratio=args.memory_ratio,
+        dirty_policy=args.dirty.upper(),
+        reference_policy=args.ref.upper(),
+    )
+    if config.page_bytes != workload.page_bytes:
+        raise SystemExit(
+            f"trace uses {workload.page_bytes}-byte pages; the "
+            f"default machine uses {config.page_bytes}"
+        )
+    result = ExperimentRunner().run(config, workload)
+    lines = [
+        f"replayed            {result.references:,} references of "
+        f"{result.workload}",
+        f"policies            dirty={result.dirty_policy} "
+        f"ref={result.reference_policy}",
+        f"cycles              {result.cycles:,}",
+        f"page-ins            {result.page_ins:,}",
+        f"dirty faults        {result.event(Event.DIRTY_FAULT):,}",
+        f"dirty-bit misses    "
+        f"{result.event(Event.DIRTY_BIT_MISS):,}",
+        f"excess faults       {result.event(Event.EXCESS_FAULT):,}",
+    ]
+    _emit("\n".join(lines), args.out)
+    return 0
+
+
+def cmd_report(args):
+    """Run every experiment and emit the Markdown report.
+
+    Exits nonzero if any shape check fails."""
+    from repro.analysis.report import generate_report
+
+    text, all_passed = generate_report(
+        length_scale=args.length, repetitions=args.reps,
+        seed=args.seed,
+    )
+    _emit(text, args.out)
+    return 0 if all_passed else 1
+
+
+def build_parser():
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Wood & Katz (ISCA 1989): reference and "
+            "dirty bits in SPUR's virtual address cache."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, reps=False):
+        p.add_argument("--length", type=float, default=1.0,
+                       help="workload length multiplier (default 1.0)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--out", help="also write the artefact here")
+        if reps:
+            p.add_argument("--reps", type=int, default=2,
+                           help="repetitions (paper used 5)")
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", choices=TABLE_CHOICES)
+    p_table.add_argument("--source", choices=("paper", "measured"),
+                         default="paper",
+                         help="counts source for table 3.4")
+    p_table.add_argument("--include-zero-fill", action="store_true",
+                         help="keep N_zfod in the 3.4 models")
+    common(p_table, reps=True)
+    p_table.set_defaults(func=cmd_table)
+
+    p_run = sub.add_parser("run", help="one simulation run")
+    p_run.add_argument("--workload", default="slc",
+                       help="slc | workload1 | dev-<host> | spec.json")
+    p_run.add_argument("--memory-ratio", type=int, default=48,
+                       help="memory as a multiple of the cache "
+                            "(40/48/64 = the paper's 5/6/8 MB)")
+    p_run.add_argument("--dirty", default="SPUR",
+                       help="FAULT|FLUSH|SPUR|PROTMISS|WRITE|MIN")
+    p_run.add_argument("--ref", default="MISS",
+                       help="MISS|REF|NOREF")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_formats = sub.add_parser(
+        "formats", help="render the Figure 3.2 bit layouts"
+    )
+    p_formats.add_argument("--out")
+    p_formats.set_defaults(func=cmd_formats)
+
+    p_all = sub.add_parser("all", help="regenerate the main tables")
+    p_all.add_argument("--out-dir", default="results")
+    common(p_all, reps=True)
+    p_all.set_defaults(func=cmd_all)
+
+    p_report = sub.add_parser(
+        "report",
+        help="run everything and emit a Markdown reproduction report",
+    )
+    common(p_report, reps=True)
+    p_report.set_defaults(func=cmd_report)
+
+    p_char = sub.add_parser(
+        "characterize",
+        help="measure a workload's reference-stream properties",
+    )
+    p_char.add_argument("--workload", default="slc")
+    p_char.add_argument("--max-references", type=int, default=200_000)
+    common(p_char)
+    p_char.set_defaults(func=cmd_characterize)
+
+    p_record = sub.add_parser(
+        "record", help="capture a workload's reference stream"
+    )
+    p_record.add_argument("trace", help="output trace path")
+    p_record.add_argument("--workload", default="slc")
+    p_record.add_argument("--max-references", type=int, default=None)
+    common(p_record)
+    p_record.set_defaults(func=cmd_record)
+
+    p_replay = sub.add_parser(
+        "replay", help="simulate a recorded trace"
+    )
+    p_replay.add_argument("trace", help="trace path from `record`")
+    p_replay.add_argument("--memory-ratio", type=int, default=48)
+    p_replay.add_argument("--dirty", default="SPUR")
+    p_replay.add_argument("--ref", default="MISS")
+    common(p_replay)
+    p_replay.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

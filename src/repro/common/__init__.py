@@ -1,0 +1,49 @@
+"""Shared substrate for the SPUR reproduction.
+
+This package holds the pieces every other subsystem leans on: address
+arithmetic and unit constants, bit-field packing (used by the PTE and
+cache-tag formats of Figure 3.2), structured parameter records, error
+types, and a deterministic random-number utility used by the synthetic
+workload generators and the randomised experiment designs.
+"""
+
+from repro.common.errors import (
+    AddressError,
+    ConfigurationError,
+    ProtectionFault,
+    ReproError,
+    TraceFormatError,
+)
+from repro.common.types import (
+    Access,
+    AccessKind,
+    Protection,
+)
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+from repro.common.bitfields import BitField, BitLayout
+from repro.common.rng import DeterministicRng
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "AddressError",
+    "BitField",
+    "BitLayout",
+    "ConfigurationError",
+    "DeterministicRng",
+    "GB",
+    "KB",
+    "MB",
+    "Protection",
+    "ProtectionFault",
+    "ReproError",
+    "TraceFormatError",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+]

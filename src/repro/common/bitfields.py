@@ -1,0 +1,162 @@
+"""Declarative bit-field packing.
+
+Figure 3.2 of the paper gives the exact formats of the SPUR page-table
+entry and cache tag.  Rather than scattering shift-and-mask arithmetic
+through the translation and cache code, both formats are declared as
+:class:`BitLayout` instances and packed/unpacked through this module.
+The benchmark that regenerates Figure 3.2 renders its diagram from the
+same declarations, so documentation cannot drift from implementation.
+"""
+
+from typing import Dict, List, NamedTuple
+
+from repro.common.errors import ConfigurationError
+
+
+class BitField(NamedTuple):
+    """A named contiguous run of bits inside a fixed-width word.
+
+    Attributes
+    ----------
+    name:
+        Field name used in pack/unpack dictionaries.
+    lsb:
+        Bit position of the least significant bit of the field.
+    width:
+        Number of bits in the field.
+    description:
+        Human-readable description, used by the Figure 3.2 renderer.
+    """
+
+    name: str
+    lsb: int
+    width: int
+    description: str = ""
+
+    @property
+    def msb(self):
+        """Bit position of the most significant bit of the field."""
+        return self.lsb + self.width - 1
+
+    @property
+    def mask(self):
+        """Mask of the field, already shifted into place."""
+        return ((1 << self.width) - 1) << self.lsb
+
+    @property
+    def max_value(self):
+        """Largest value the field can hold."""
+        return (1 << self.width) - 1
+
+    def extract(self, word):
+        """Return this field's value from a packed word."""
+        return (word >> self.lsb) & ((1 << self.width) - 1)
+
+    def insert(self, word, value):
+        """Return ``word`` with this field replaced by ``value``."""
+        if not 0 <= value <= self.max_value:
+            raise ValueError(
+                f"value {value} does not fit in {self.width}-bit "
+                f"field {self.name!r}"
+            )
+        return (word & ~self.mask) | (value << self.lsb)
+
+
+class BitLayout:
+    """A fixed-width word composed of non-overlapping named fields.
+
+    Fields need not cover every bit (hardware formats frequently leave
+    reserved holes) but must not overlap and must fit inside
+    ``word_width`` bits.
+    """
+
+    def __init__(self, name, word_width, fields):
+        self.name = name
+        self.word_width = word_width
+        self.fields: List[BitField] = list(fields)
+        self._by_name: Dict[str, BitField] = {}
+        used = 0
+        for field in self.fields:
+            if field.width <= 0:
+                raise ConfigurationError(
+                    f"{name}.{field.name}: width must be positive"
+                )
+            if field.msb >= word_width:
+                raise ConfigurationError(
+                    f"{name}.{field.name}: bits {field.lsb}..{field.msb} "
+                    f"exceed word width {word_width}"
+                )
+            if used & field.mask:
+                raise ConfigurationError(
+                    f"{name}.{field.name}: overlaps an earlier field"
+                )
+            if field.name in self._by_name:
+                raise ConfigurationError(
+                    f"{name}: duplicate field name {field.name!r}"
+                )
+            used |= field.mask
+            self._by_name[field.name] = field
+
+    def __getitem__(self, field_name):
+        return self._by_name[field_name]
+
+    def __contains__(self, field_name):
+        return field_name in self._by_name
+
+    @property
+    def field_names(self):
+        return [field.name for field in self.fields]
+
+    def pack(self, **values):
+        """Pack named field values into a word.
+
+        Unnamed fields default to zero.  Unknown names raise ``KeyError``
+        rather than being ignored, so a typo cannot silently drop a bit.
+        """
+        word = 0
+        for field_name, value in values.items():
+            word = self._by_name[field_name].insert(word, value)
+        return word
+
+    def unpack(self, word):
+        """Unpack a word into a ``{field name: value}`` dictionary."""
+        if not 0 <= word < (1 << self.word_width):
+            raise ValueError(
+                f"word {word:#x} does not fit in {self.word_width} bits"
+            )
+        return {
+            field.name: field.extract(word) for field in self.fields
+        }
+
+    def set(self, word, field_name, value):
+        """Return ``word`` with one field replaced."""
+        return self._by_name[field_name].insert(word, value)
+
+    def get(self, word, field_name):
+        """Return one field's value from ``word``."""
+        return self._by_name[field_name].extract(word)
+
+    def render(self):
+        """Render the layout as an ASCII diagram (msb on the left).
+
+        Used by the Figure 3.2 benchmark so the published diagram is
+        regenerated from the live format declarations.
+        """
+        ordered = sorted(self.fields, key=lambda f: f.lsb, reverse=True)
+        cells = []
+        next_expected = self.word_width - 1
+        for field in ordered:
+            if field.msb < next_expected:
+                hole = next_expected - field.msb
+                cells.append((f"reserved[{hole}]", hole))
+            label = field.name if field.width > 1 else field.name
+            cells.append((f"{label}[{field.width}]", field.width))
+            next_expected = field.lsb - 1
+        if next_expected >= 0:
+            cells.append((f"reserved[{next_expected + 1}]", next_expected + 1))
+        boxes = " | ".join(label for label, _ in cells)
+        header = f"{self.name} ({self.word_width} bits, msb..lsb)"
+        return f"{header}\n| {boxes} |"
+
+    def __repr__(self):
+        return f"BitLayout({self.name!r}, {self.word_width}, {self.fields!r})"

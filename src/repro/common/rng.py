@@ -1,0 +1,109 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component in the reproduction (workload generators,
+the randomised experiment design of Section 4.2) draws from a
+:class:`DeterministicRng`, which is a thin wrapper over
+:class:`random.Random` that adds named substreams.  Substreams let two
+components share one experiment seed without their draws interleaving,
+so adding a draw to the workload generator does not perturb the
+experiment-ordering shuffle.
+"""
+
+import random
+import zlib
+
+
+class DeterministicRng:
+    """A seeded random source with named, independent substreams.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Equal seeds produce identical draw sequences on
+        every platform (``random.Random`` guarantees this for its
+        Mersenne Twister core).
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def substream(self, name):
+        """Return an independent :class:`DeterministicRng` for ``name``.
+
+        The substream seed mixes the master seed with a CRC of the
+        name, so distinct names yield uncorrelated streams and the
+        mapping is stable across runs and platforms.
+        """
+        mixed = (self.seed * 0x9E3779B1 + zlib.crc32(name.encode())) % (2**63)
+        return DeterministicRng(mixed)
+
+    # -- draw helpers -------------------------------------------------
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def randrange(self, stop):
+        """Uniform integer in [0, stop)."""
+        return self._random.randrange(stop)
+
+    def choice(self, sequence):
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(sequence)
+
+    def shuffle(self, sequence):
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(sequence)
+
+    def sample(self, population, k):
+        """Sample ``k`` distinct elements."""
+        return self._random.sample(population, k)
+
+    def expovariate(self, rate):
+        """Exponential variate with the given rate."""
+        return self._random.expovariate(rate)
+
+    def geometric(self, p):
+        """Geometric variate: number of failures before first success.
+
+        Used by tests of the footnote-3 excess-fault model.  ``p`` must
+        be in (0, 1].
+        """
+        if not 0 < p <= 1:
+            raise ValueError("p must be in (0, 1]")
+        if p == 1:
+            return 0
+        count = 0
+        while self._random.random() >= p:
+            count += 1
+        return count
+
+    def zipf_index(self, n, skew=1.0):
+        """Draw an index in [0, n) with a Zipf-like popularity skew.
+
+        Workload generators use this to model the hot/cold page
+        behaviour of real programs: low indices are drawn far more
+        often than high ones.  ``skew=0`` degenerates to uniform.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if skew <= 0:
+            return self._random.randrange(n)
+        # Inverse-power transform: cheap, monotone, adequate skew shape
+        # for locality modelling (we do not need exact Zipf moments).
+        u = self._random.random()
+        index = int(n * (u ** (1.0 + skew)))
+        return min(index, n - 1)
+
+    def getstate(self):
+        """Snapshot the generator state (pair with setstate)."""
+        return self._random.getstate()
+
+    def setstate(self, state):
+        """Restore a state captured by :meth:`getstate`."""
+        self._random.setstate(state)

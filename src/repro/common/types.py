@@ -1,0 +1,82 @@
+"""Core value types shared across the simulator.
+
+The simulator's unit of work is the :class:`Access`: one processor
+reference (instruction fetch, data read, or data write) to a *global*
+virtual address.  SPUR prevents virtual-address synonyms by forcing
+processes that share memory to use the same global virtual address
+[Hill86]; workload generators therefore emit global virtual addresses
+directly, and per-process segment layout lives in
+:mod:`repro.vm.segments`.
+"""
+
+import enum
+from typing import NamedTuple
+
+
+class AccessKind(enum.IntEnum):
+    """Kind of processor memory reference.
+
+    The SPUR cache controller's performance counters distinguish
+    instruction fetches, processor reads, and processor writes; the
+    simulator preserves that taxonomy.
+    """
+
+    IFETCH = 0
+    READ = 1
+    WRITE = 2
+
+    @property
+    def is_write(self):
+        """True for accesses that modify memory."""
+        return self is AccessKind.WRITE
+
+
+class Protection(enum.IntEnum):
+    """Page protection levels, encoded in two bits as in Figure 3.2.
+
+    SPUR's PTE and cache tag both carry a two-bit protection field.
+    The reproduction needs only the levels the paper discusses: no
+    access, read-only, and read-write.  ``KERNEL`` rounds out the
+    two-bit encoding and marks pages only the kernel may touch (wired
+    second-level page tables, for instance).
+    """
+
+    NONE = 0
+    READ_ONLY = 1
+    READ_WRITE = 2
+    KERNEL = 3
+
+    def allows(self, kind):
+        """Return True if this protection level permits ``kind``."""
+        if self is Protection.NONE:
+            return False
+        if self is Protection.READ_ONLY:
+            return kind is not AccessKind.WRITE
+        return True
+
+
+class Access(NamedTuple):
+    """A single processor reference to a global virtual address."""
+
+    kind: AccessKind
+    vaddr: int
+
+    @property
+    def is_write(self):
+        return self.kind is AccessKind.WRITE
+
+
+class PageKind(enum.IntEnum):
+    """Origin of a virtual page, used for Sprite-style accounting.
+
+    ``ZERO_FILL`` pages are newly allocated stack and heap pages that
+    the kernel initialises to zero and maps with the dirty bit off;
+    the paper's :math:`N_{zfod}` counts dirty-bit faults on them.
+    ``FILE`` pages are backed by an executable or data file (code is
+    read-only and never dirtied).  ``SWAP`` pages have been written to
+    the swap device at least once.
+    """
+
+    ZERO_FILL = 0
+    FILE = 1
+    SWAP = 2

@@ -1,0 +1,54 @@
+"""Size and time unit helpers.
+
+The paper reports cache and memory sizes in kilobytes and megabytes and
+times in processor cycles (150 ns each on the prototype, Table 2.1).
+These helpers keep unit conversions explicit at call sites.
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Processor cycle time of the SPUR prototype (Table 2.1), in seconds.
+SPUR_CYCLE_TIME_SECONDS = 150e-9
+
+#: Backplane (bus) cycle time of the SPUR prototype (Table 2.1).
+SPUR_BUS_CYCLE_TIME_SECONDS = 125e-9
+
+
+def cycles_to_seconds(cycles, cycle_time=SPUR_CYCLE_TIME_SECONDS):
+    """Convert a processor cycle count to wall-clock seconds.
+
+    Parameters
+    ----------
+    cycles:
+        Number of processor cycles.
+    cycle_time:
+        Seconds per cycle; defaults to the SPUR prototype's 150 ns.
+    """
+    return cycles * cycle_time
+
+
+def seconds_to_cycles(seconds, cycle_time=SPUR_CYCLE_TIME_SECONDS):
+    """Convert wall-clock seconds to an integral processor cycle count."""
+    return int(round(seconds / cycle_time))
+
+
+def is_power_of_two(value):
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value):
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises
+    ------
+    ValueError
+        If ``value`` is not a positive power of two.  Cache geometry
+        code relies on exact shifts, so a silent floor would corrupt
+        address arithmetic.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

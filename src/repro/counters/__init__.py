@@ -1,0 +1,28 @@
+"""Model of the SPUR cache controller's on-chip performance counters.
+
+The cache controller chip [Wood87] contains sixteen 32-bit counters
+and a mode register that selects one of four event sets to measure.
+The paper's entire methodology rests on these counters: every event
+frequency in Table 3.3 was read from them.  The reproduction wires the
+same counters into the simulator, so experiments read their results
+exactly the way the paper did — by programming a mode, running the
+workload, and reading the counter bank.
+"""
+
+from repro.counters.events import Event, MODE_SETS, NUM_COUNTERS, NUM_MODES
+from repro.counters.counters import CounterSnapshot, PerformanceCounters
+from repro.counters.methodology import (
+    InconsistentRunsError,
+    MeasurementCampaign,
+)
+
+__all__ = [
+    "CounterSnapshot",
+    "Event",
+    "InconsistentRunsError",
+    "MeasurementCampaign",
+    "MODE_SETS",
+    "NUM_COUNTERS",
+    "NUM_MODES",
+    "PerformanceCounters",
+]

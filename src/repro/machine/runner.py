@@ -1,0 +1,144 @@
+"""Experiment execution: one run = one machine + one workload.
+
+:class:`ExperimentRunner` reproduces the paper's measurement
+discipline: each data point is a fresh machine (cold cache, empty
+memory) driven by a freshly instantiated workload; repetitions use
+distinct seeds; multi-point experiments can be order-randomised the
+way Section 4.2's five-repetition design was.
+"""
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.rng import DeterministicRng
+from repro.common.units import SPUR_CYCLE_TIME_SECONDS
+from repro.counters.events import Event
+from repro.machine.simulator import SpurMachine
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulation run."""
+
+    workload: str
+    config_name: str
+    memory_bytes: int
+    dirty_policy: str
+    reference_policy: str
+    seed: int
+    references: int
+    cycles: int
+    events: Dict[Event, int]
+    page_ins: int
+    page_outs: int
+    zero_fills: int
+    potentially_modified: int
+    not_modified: int
+    host_seconds: float = 0.0
+
+    @property
+    def elapsed_seconds(self):
+        """Simulated elapsed time at the 150 ns prototype cycle."""
+        return self.cycles * SPUR_CYCLE_TIME_SECONDS
+
+    @property
+    def cycles_per_reference(self):
+        return self.cycles / self.references if self.references else 0.0
+
+    def event(self, event):
+        """Count of one performance-counter event (0 if unseen)."""
+        return self.events.get(event, 0)
+
+
+class ExperimentRunner:
+    """Builds machines and executes workload runs."""
+
+    def __init__(self, master_seed=1234):
+        self.master_seed = master_seed
+
+    def run(self, config, workload, seed=0, max_references=None):
+        """One cold-start run; returns a :class:`RunResult`.
+
+        Parameters
+        ----------
+        config:
+            :class:`repro.machine.config.MachineConfig` (policies and
+            memory size included).
+        workload:
+            A :class:`repro.workloads.base.Workload` recipe.
+        seed:
+            Repetition seed mixed into the workload's RNG.
+        max_references:
+            Optional cap on references simulated (smoke tests).
+        """
+        instance = workload.instantiate(config.page_bytes, seed=seed)
+        machine = SpurMachine(config, instance.space_map)
+        accesses = instance.accesses()
+        if max_references is not None:
+            accesses = _take(accesses, max_references)
+        started = time.perf_counter()
+        machine.run(accesses)
+        host_seconds = time.perf_counter() - started
+        swap_stats = machine.swap.stats
+        return RunResult(
+            workload=instance.name,
+            config_name=config.name,
+            memory_bytes=config.memory_bytes,
+            dirty_policy=machine.dirty_policy.name,
+            reference_policy=machine.reference_policy.name,
+            seed=seed,
+            references=machine.references,
+            cycles=machine.cycles,
+            events=machine.counters.snapshot().as_dict(),
+            page_ins=swap_stats.page_ins,
+            page_outs=swap_stats.page_outs,
+            zero_fills=swap_stats.zero_fills,
+            potentially_modified=swap_stats.potentially_modified,
+            not_modified=swap_stats.not_modified,
+            host_seconds=host_seconds,
+        )
+
+    def run_repetitions(self, config, workload, repetitions=5,
+                        max_references=None):
+        """Independent repetitions with distinct seeds."""
+        return [
+            self.run(config, workload, seed=rep,
+                     max_references=max_references)
+            for rep in range(repetitions)
+        ]
+
+    def run_matrix(self, points, repetitions=1, randomize=True,
+                   max_references=None):
+        """Run a list of ``(label, config, workload)`` points.
+
+        With ``randomize`` the (point, repetition) cells execute in a
+        shuffled order — the paper's randomised experiment design
+        (Section 4.2) — which matters there for warm hardware and
+        here only for honest wall-clock interleaving, but is kept for
+        methodological fidelity.  Returns ``{label: [RunResult, ...]}``
+        with repetitions in seed order regardless of execution order.
+        """
+        cells = [
+            (label, config, workload, rep)
+            for label, config, workload in points
+            for rep in range(repetitions)
+        ]
+        if randomize:
+            DeterministicRng(self.master_seed).shuffle(cells)
+        results = {label: [None] * repetitions
+                   for label, _, _ in points}
+        for label, config, workload, rep in cells:
+            results[label][rep] = self.run(
+                config, workload, seed=rep,
+                max_references=max_references,
+            )
+        return results
+
+
+def _take(iterator, count):
+    """Yield at most ``count`` items."""
+    for index, item in enumerate(iterator):
+        if index >= count:
+            break
+        yield item

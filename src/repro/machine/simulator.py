@@ -1,0 +1,315 @@
+"""The SPUR machine: cache + translation + VM + policies + counters.
+
+The reference-processing loop in :meth:`SpurMachine.run` is the
+performance-critical core of the whole reproduction — every simulated
+memory reference passes through it.  It therefore reads the cache's
+parallel tag arrays directly (they are public for exactly this
+purpose) and keeps its bookkeeping in local variables, falling into
+method calls only on the rare paths: misses, write hits needing
+dirty-bit work, faults.
+
+Cycle model (Table 2.1, Section 3.2):
+
+* cache hit — 1 cycle;
+* cache miss — 1 cycle plus translation (3 cycles if the PTE is
+  cached, block fetches otherwise) plus the block transfer;
+* dirty/reference faults, flushes, page faults, paging I/O — charged
+  by the policy and VM code via :class:`repro.common.params.
+  FaultTiming`.
+"""
+
+from repro.common.errors import ProtectionFault
+from repro.common.types import AccessKind, Protection
+from repro.common.units import SPUR_CYCLE_TIME_SECONDS
+from repro.counters.counters import PerformanceCounters
+from repro.counters.events import Event
+from repro.cache.bus import SnoopyBus
+from repro.cache.cache import VirtualCache
+from repro.cache.flush import TagCheckedFlush, TaglessFlush
+from repro.machine.cpu import ReferenceMix
+from repro.policies.dirty import make_dirty_policy
+from repro.policies.reference import make_reference_policy
+from repro.translation.incache import InCacheTranslator
+from repro.translation.pagetable import PageTable, PageTableLayout
+from repro.vm.swap import SwapDevice
+from repro.vm.system import VirtualMemorySystem
+
+_WRITE = int(AccessKind.WRITE)
+_RW = int(Protection.READ_WRITE)
+
+
+def _make_flusher(strategy, cost_scale=1):
+    if strategy == "tag-checked":
+        return TagCheckedFlush(
+            loop_cycles=2 * cost_scale,
+            check_cycles=1 * cost_scale,
+            flush_cycles=10 * cost_scale,
+        )
+    if strategy == "tagless":
+        return TaglessFlush(op_cycles=12 * cost_scale)
+    raise ValueError(f"unknown flush strategy {strategy!r}")
+
+
+class SpurMachine:
+    """One SPUR processor board plus memory, swap, and Sprite VM.
+
+    Parameters
+    ----------
+    config:
+        :class:`repro.machine.config.MachineConfig`.
+    space_map:
+        The workload's :class:`repro.vm.segments.AddressSpaceMap`.
+    counters:
+        Optional pre-built counter bank (defaults to the omniscient
+        mode; pass a moded bank to reproduce the hardware's
+        sixteen-at-a-time limitation).
+    bus:
+        Optional shared :class:`SnoopyBus` for multiprocessor setups;
+        a private bus is created when omitted.
+    """
+
+    def __init__(self, config, space_map, counters=None, bus=None,
+                 name=None, page_table=None, vm=None, swap=None):
+        self.config = config
+        self.name = name or config.name
+        self.counters = counters or PerformanceCounters()
+        self.fault_timing = config.fault_timing
+        self.page_bytes = config.page_bytes
+        self.page_bits = config.page_geometry.page_bits
+        self.zero_fill_cycles = config.zero_fill_cycles
+
+        self.cache = VirtualCache(
+            config.cache, config.memory_timing, name=f"{self.name}.cache"
+        )
+        self.bus = bus or SnoopyBus(name=f"{self.name}.bus",
+                                    counters=self.counters)
+        self.bus.attach(self.cache)
+        self.flusher = _make_flusher(
+            config.flush_strategy, config.flush_cost_scale
+        )
+
+        # Page table, swap, and VM may be shared across processors of
+        # an SmpSystem; a standalone machine builds its own.
+        if page_table is None:
+            layout = PageTableLayout(
+                page_bytes=config.page_bytes,
+                pte_base=config.pte_base,
+                second_level_base=config.second_level_base,
+                user_limit=config.user_limit,
+            )
+            page_table = PageTable(layout)
+        self.page_table = page_table
+        self.translator = InCacheTranslator(
+            self.page_table, self.cache, counters=self.counters
+        )
+
+        self.swap = swap or SwapDevice(
+            io_cycles=config.fault_timing.page_io
+        )
+        if vm is None:
+            vm = VirtualMemorySystem(
+                self.page_table,
+                space_map,
+                self.swap,
+                num_frames=config.num_frames,
+                wired_frames=config.wired_frames,
+                low_water=config.low_water,
+                high_water=config.high_water,
+                daemon_kind=config.daemon_kind,
+                inactive_fraction=config.inactive_fraction,
+            )
+            vm.attach_machine(self)
+        self.vm = vm
+
+        self.dirty_policy = make_dirty_policy(config.dirty_policy)
+        self.reference_policy = make_reference_policy(
+            config.reference_policy
+        )
+
+        self.cycles = 0
+        self.references = 0
+        self.reference_mix = ReferenceMix()
+        #: Set by SmpSystem when this processor joins a shared-memory
+        #: system; page flushes then cover every cache in the domain.
+        self.system = None
+
+    # -- coherence-domain operations ---------------------------------------
+
+    def caches(self):
+        """All caches page-granularity operations must cover."""
+        if self.system is not None:
+            return self.system.caches()
+        return (self.cache,)
+
+    def flush_page(self, page_vaddr):
+        """Flush one page from every cache in the coherence domain.
+
+        This is the primitive behind the FLUSH dirty-bit alternative,
+        the REF policy's flush-on-clear, and page eviction.  On a
+        multiprocessor it must run on *all* caches — the cost the
+        paper cites when arguing the REF policy gets worse with more
+        processors.  Returns total cycles.
+        """
+        cycles = 0
+        counters = self.counters
+        for cache in self.caches():
+            result = self.flusher.flush_page(
+                cache, page_vaddr, self.page_bytes
+            )
+            counters.increment(
+                Event.FLUSH_OPERATION, result.lines_checked
+            )
+            counters.increment(
+                Event.FLUSH_WRITE_BACK, result.write_backs
+            )
+            cycles += result.cycles
+        return cycles
+
+    # -- the hot loop ---------------------------------------------------
+
+    def run(self, accesses):
+        """Simulate a stream of ``(kind, vaddr)`` references.
+
+        ``kind`` is an ``int(AccessKind)``; workload generators yield
+        plain ints to keep this loop allocation-free.  Returns the
+        number of references processed.
+        """
+        cache = self.cache
+        valid = cache.valid
+        tags = cache.tags
+        block_dirty = cache.block_dirty
+        page_dirty = cache.page_dirty
+        prot = cache.prot
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
+        tag_shift = cache.tag_shift
+        slow_write_hit = self._slow_write_hit
+        miss = self._miss
+
+        poll_mask = self.config.daemon_poll_refs - 1
+        poll = self.vm.daemon.poll if poll_mask >= 0 else None
+
+        cycles = 0
+        kind_counts = [0, 0, 0]
+        processed = 0
+        for kind, vaddr in accesses:
+            processed += 1
+            if not processed & poll_mask:
+                cycles += poll()
+            kind_counts[kind] += 1
+            index = (vaddr >> block_bits) & index_mask
+            if valid[index] and tags[index] == (vaddr >> tag_shift):
+                if kind != _WRITE:
+                    cycles += 1
+                    continue
+                if (
+                    block_dirty[index]
+                    and page_dirty[index]
+                    and prot[index] == _RW
+                ):
+                    cycles += 1
+                    continue
+                cycles += 1 + slow_write_hit(index, vaddr)
+                continue
+            cycles += 1 + miss(kind, vaddr)
+
+        self.cycles += cycles
+        self.references += processed
+        mix = ReferenceMix(
+            ifetches=kind_counts[0],
+            reads=kind_counts[1],
+            writes=kind_counts[2],
+        )
+        mix.flush_to_counters(self.counters)
+        self.reference_mix.add(mix.ifetches, mix.reads, mix.writes)
+        return processed
+
+    # -- slow paths ------------------------------------------------------
+
+    def _slow_write_hit(self, index, vaddr):
+        """A write hit whose dirty-bit state is not settled."""
+        cache = self.cache
+        vpn = vaddr >> self.page_bits
+        pte = self.page_table.entry(vpn)
+        page = self.vm.page(vpn)
+        if not page.region.writable:
+            raise ProtectionFault(vaddr, "write to read-only region")
+
+        if cache.filled_by_read[index] and not cache.block_dirty[index]:
+            # First modification of a block that entered on a read:
+            # one of the paper's N_w-hit events (counted per block).
+            self.counters.increment(Event.WRITE_TO_READ_FILLED_BLOCK)
+            cache.filled_by_read[index] = False
+
+        cycles = self.dirty_policy.handle_write_hit(
+            self, index, vaddr, pte, page
+        )
+
+        # The policy may have flushed and refilled the block (FLUSH);
+        # find where the written block lives now and mark it dirty.
+        if cache.valid[index] and cache.tags[index] == (
+            vaddr >> cache.tag_shift
+        ):
+            target = index
+        else:
+            target = cache.probe(vaddr)
+        if target >= 0:
+            cache.block_dirty[target] = True
+            cache.acquire_ownership(target)
+        return cycles
+
+    def _miss(self, kind, vaddr):
+        """Reference missed in the cache: translate, maybe fault, fill."""
+        counters = self.counters
+        if kind == 0:
+            counters.increment(Event.IFETCH_MISS)
+        elif kind == 1:
+            counters.increment(Event.READ_MISS)
+        else:
+            counters.increment(Event.WRITE_MISS)
+
+        result = self.translator.translate(vaddr)
+        cycles = result.cycles
+        pte = result.pte
+
+        vpn = vaddr >> self.page_bits
+        if not pte.valid:
+            cycles += self.vm.handle_page_fault(vpn)
+
+        cycles += self.reference_policy.on_cache_miss(self, pte)
+
+        is_write = kind == _WRITE
+        if is_write:
+            page = self.vm.page(vpn)
+            if not page.region.writable:
+                raise ProtectionFault(vaddr, "write to read-only region")
+            counters.increment(Event.WRITE_MISS_FILL)
+            cycles += self.dirty_policy.on_write_miss(self, pte, page)
+
+        _, fill_cycles = self.cache.fill(
+            vaddr,
+            pte.protection,
+            page_dirty=self.dirty_policy.fill_page_dirty(pte),
+            by_write=is_write,
+        )
+        counters.increment(Event.BLOCK_FILL)
+        return cycles + fill_cycles
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self):
+        """Simulated wall-clock time at the prototype's cycle time."""
+        return self.cycles * SPUR_CYCLE_TIME_SECONDS
+
+    def snapshot(self):
+        """Counter snapshot (delta arithmetic supported)."""
+        return self.counters.snapshot()
+
+    def __repr__(self):
+        return (
+            f"SpurMachine({self.name!r}, "
+            f"dirty={self.dirty_policy.name}, "
+            f"ref={self.reference_policy.name}, "
+            f"{self.references} refs, {self.cycles} cycles)"
+        )

@@ -1,0 +1,64 @@
+"""Reference- and dirty-bit maintenance policies.
+
+This package is the paper's primary contribution: the five dirty-bit
+alternatives of Table 3.1 (FAULT, FLUSH, SPUR, WRITE, and the MIN
+lower bound), the three reference-bit policies of Section 4 (MISS,
+REF, NOREF), the analytic overhead models of Section 3.2, and the
+geometric excess-fault model of footnote 3.
+
+Two complementary evaluation styles are supported, matching the paper:
+
+* **Analytic** — feed measured event counts (Table 3.3) into the
+  :mod:`repro.policies.costs` models to produce Table 3.4.
+* **Closed-loop** — install a policy object into a
+  :class:`repro.machine.SpurMachine` and simulate, which is how the
+  Table 4.1 reference-bit results (and Table 3.3 itself) are produced.
+"""
+
+from repro.policies.costs import (
+    DIRTY_POLICY_NAMES,
+    EventCounts,
+    TimeParameters,
+    overhead,
+    overhead_table,
+)
+from repro.policies.dirty import (
+    DirtyBitPolicy,
+    FaultDirtyPolicy,
+    FlushDirtyPolicy,
+    MinDirtyPolicy,
+    ProtectionMissDirtyPolicy,
+    SpurDirtyPolicy,
+    WriteDirtyPolicy,
+    make_dirty_policy,
+)
+from repro.policies.reference import (
+    MissReferencePolicy,
+    NoReferencePolicy,
+    ReferenceBitPolicy,
+    TrueReferencePolicy,
+    make_reference_policy,
+)
+from repro.policies.model import ExcessFaultModel
+
+__all__ = [
+    "DIRTY_POLICY_NAMES",
+    "DirtyBitPolicy",
+    "EventCounts",
+    "ExcessFaultModel",
+    "FaultDirtyPolicy",
+    "FlushDirtyPolicy",
+    "MinDirtyPolicy",
+    "MissReferencePolicy",
+    "NoReferencePolicy",
+    "ProtectionMissDirtyPolicy",
+    "ReferenceBitPolicy",
+    "SpurDirtyPolicy",
+    "TimeParameters",
+    "TrueReferencePolicy",
+    "WriteDirtyPolicy",
+    "make_dirty_policy",
+    "make_reference_policy",
+    "overhead",
+    "overhead_table",
+]

@@ -1,0 +1,318 @@
+"""The five dirty-bit maintenance alternatives (Table 3.1).
+
+Each policy plugs into :class:`repro.machine.SpurMachine` at three
+points:
+
+* :meth:`~DirtyBitPolicy.map_protection` — the hardware protection a
+  freshly mapped writable page receives (the FAULT and FLUSH
+  alternatives map writable pages read-only to emulate the dirty bit);
+* :meth:`~DirtyBitPolicy.handle_write_hit` — the slow path for a write
+  that hits a cache block whose dirty information is not yet settled
+  (stale protection, clear cached page-dirty bit, or first write to
+  the block);
+* :meth:`~DirtyBitPolicy.on_write_miss` — dirty-bit work folded into a
+  write miss, where the PTE is in hand anyway.
+
+The cycle charges mirror the analytic models of Section 3.2 exactly,
+so a closed-loop simulation and the Table 3.4 arithmetic agree on the
+same events.
+"""
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import PageKind, Protection
+from repro.counters.events import Event
+
+
+class DirtyBitPolicy:
+    """Base class; concrete policies override the three hooks."""
+
+    #: Policy name as used in the paper's tables.
+    name = "ABSTRACT"
+
+    def map_protection(self, writable):
+        """Hardware protection for a freshly mapped page."""
+        return Protection.READ_WRITE if writable else Protection.READ_ONLY
+
+    def fill_page_dirty(self, pte):
+        """Value of the cached page-dirty copy for a new fill.
+
+        True means "no dirty-bit work remains for this page", which is
+        the hot loop's licence to skip the slow path.
+        """
+        return pte.is_modified()
+
+    def handle_write_hit(self, machine, index, vaddr, pte, page):
+        """Resolve a write hit needing dirty-bit work; returns cycles."""
+        raise NotImplementedError
+
+    def on_write_miss(self, machine, pte, page):
+        """Dirty-bit work on a write miss; returns cycles."""
+        if pte.is_modified():
+            return 0
+        return self._necessary_fault(machine, pte)
+
+    # -- shared handler pieces -------------------------------------------
+
+    def _necessary_fault(self, machine, pte):
+        """Take the fault that actually sets the dirty bit."""
+        counters = machine.counters
+        counters.increment(Event.DIRTY_FAULT)
+        if pte.kind is PageKind.ZERO_FILL:
+            counters.increment(Event.ZERO_FILL_DIRTY_FAULT)
+        self._set_dirty(pte)
+        return machine.fault_timing.dirty_fault
+
+    def _set_dirty(self, pte):
+        """Record the page as modified (hardware bit by default)."""
+        pte.dirty = True
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class FaultDirtyPolicy(DirtyBitPolicy):
+    """FAULT: emulate dirty bits with protection.
+
+    Writable pages are mapped read-only; the first write faults, and
+    the handler sets a software dirty bit and raises the protection to
+    read-write.  Blocks cached *before* the promotion keep their stale
+    read-only copies, so writes to them fault too — the excess faults
+    of Figure 3.1.  No hardware support beyond ordinary protection
+    checking is needed.
+    """
+
+    name = "FAULT"
+
+    def map_protection(self, writable):
+        # Writable pages start read-only: that is the emulation.
+        return Protection.READ_ONLY
+
+    def _set_dirty(self, pte):
+        pte.software_dirty = True
+        pte.protection = Protection.READ_WRITE
+
+    def handle_write_hit(self, machine, index, vaddr, pte, page):
+        cache = machine.cache
+        if cache.prot[index] == int(Protection.READ_WRITE):
+            # Protection already settled; only the block-dirty bit was
+            # clear.  No policy work.
+            return 0
+        if pte.is_modified():
+            # Stale cached protection: the PTE was promoted by an
+            # earlier fault on another block of this page.
+            machine.counters.increment(Event.EXCESS_FAULT)
+            cache.prot[index] = int(Protection.READ_WRITE)
+            cache.page_dirty[index] = True
+            return machine.fault_timing.dirty_fault
+        cycles = self._necessary_fault(machine, pte)
+        # The handler repairs the faulting block's cached protection so
+        # the retried write proceeds.
+        cache.prot[index] = int(Protection.READ_WRITE)
+        cache.page_dirty[index] = True
+        return cycles
+
+
+class FlushDirtyPolicy(FaultDirtyPolicy):
+    """FLUSH: protection emulation plus a page flush on the fault.
+
+    Flushing the page when the necessary fault occurs guarantees no
+    block remains cached with the old protection, eliminating excess
+    faults at the price of one page flush per dirtied page (and the
+    misses to re-fetch any flushed blocks that are used again).
+    """
+
+    name = "FLUSH"
+
+    def handle_write_hit(self, machine, index, vaddr, pte, page):
+        cache = machine.cache
+        if cache.prot[index] == int(Protection.READ_WRITE):
+            return 0
+        if pte.is_modified():
+            # Should be rare to impossible (the flush removed stale
+            # blocks), but a block filled between fault and flush of
+            # a concurrent processor could land here; treat it as the
+            # FAULT policy would.
+            machine.counters.increment(Event.EXCESS_FAULT)
+            cache.prot[index] = int(Protection.READ_WRITE)
+            cache.page_dirty[index] = True
+            return machine.fault_timing.dirty_fault
+        cycles = self._necessary_fault(machine, pte)
+        cycles += self._flush_page(machine, vaddr)
+        # The faulting block itself was flushed; re-fetch it with the
+        # promoted protection, as the retried write's miss would.
+        _, fill_cycles = cache.fill(
+            vaddr, pte.protection, page_dirty=True, by_write=True
+        )
+        return cycles + fill_cycles
+
+    def on_write_miss(self, machine, pte, page):
+        if pte.is_modified():
+            return 0
+        cycles = self._necessary_fault(machine, pte)
+        page_vaddr = page.vpn * machine.page_bytes
+        cycles += self._flush_page(machine, page_vaddr)
+        return cycles
+
+    def _flush_page(self, machine, vaddr):
+        page_vaddr = vaddr & ~(machine.page_bytes - 1)
+        return machine.flush_page(page_vaddr)
+
+
+class SpurDirtyPolicy(DirtyBitPolicy):
+    """SPUR: cache a copy of the page dirty bit with each block.
+
+    On a write to a block whose cached copy says "clean", the hardware
+    checks the PTE.  If the PTE is also clean this is the first write
+    to the page and a dirty-bit fault sets it; if the PTE is already
+    dirty the cached copy is merely out of date and a ~25-cycle *dirty
+    bit miss* refreshes it — the mechanism SPUR spent one tag bit and
+    14 PLA product terms on.
+    """
+
+    name = "SPUR"
+
+    def handle_write_hit(self, machine, index, vaddr, pte, page):
+        cache = machine.cache
+        if cache.page_dirty[index]:
+            return 0
+        timing = machine.fault_timing
+        if pte.dirty:
+            machine.counters.increment(Event.DIRTY_BIT_MISS)
+            cache.page_dirty[index] = True
+            return timing.dirty_bit_miss
+        cycles = self._necessary_fault(machine, pte)
+        # The handler's return forces the cached copy update (the
+        # "dirty bit miss" mechanism), hence the extra t_dm in O(SPUR).
+        cache.page_dirty[index] = True
+        return cycles + timing.dirty_bit_miss
+
+    def on_write_miss(self, machine, pte, page):
+        if pte.dirty:
+            return 0
+        cycles = self._necessary_fault(machine, pte)
+        return cycles + machine.fault_timing.dirty_bit_miss
+
+
+class ProtectionMissDirtyPolicy(DirtyBitPolicy):
+    """PROTMISS: the generalized SPUR scheme, applied to protection.
+
+    Section 3.1's closing observation: instead of an explicit cached
+    dirty bit, apply the same check-the-PTE-before-faulting idea to
+    the protection field itself.  Writable pages are mapped read-only
+    while clean (as under FAULT); on a write that the *cached*
+    protection copy forbids, the hardware first consults the PTE — if
+    the copy is merely out of date, a "protection bit miss" refreshes
+    it and the access proceeds; only a genuinely clean page faults.
+
+    The paper notes the performance is identical to SPUR's while
+    saving the extra tag bit; the closed-loop tests pin that
+    equivalence.
+    """
+
+    name = "PROTMISS"
+
+    def map_protection(self, writable):
+        # Same initial state as the FAULT emulation.
+        return Protection.READ_ONLY
+
+    def _set_dirty(self, pte):
+        pte.software_dirty = True
+        pte.protection = Protection.READ_WRITE
+
+    def handle_write_hit(self, machine, index, vaddr, pte, page):
+        cache = machine.cache
+        if cache.prot[index] == int(Protection.READ_WRITE):
+            return 0
+        timing = machine.fault_timing
+        if pte.is_modified():
+            # Stale cached protection: hardware refresh, no fault.
+            machine.counters.increment(Event.DIRTY_BIT_MISS)
+            cache.prot[index] = int(Protection.READ_WRITE)
+            cache.page_dirty[index] = True
+            return timing.dirty_bit_miss
+        cycles = self._necessary_fault(machine, pte)
+        cache.prot[index] = int(Protection.READ_WRITE)
+        cache.page_dirty[index] = True
+        return cycles + timing.dirty_bit_miss
+
+    def on_write_miss(self, machine, pte, page):
+        if pte.is_modified():
+            return 0
+        cycles = self._necessary_fault(machine, pte)
+        return cycles + machine.fault_timing.dirty_bit_miss
+
+
+class WriteDirtyPolicy(DirtyBitPolicy):
+    """WRITE: check the PTE on the first write to each cache block.
+
+    Modeled on the Sun-3 mechanism but faulting to software to set the
+    bit, for an unbiased comparison.  Write misses check for free (the
+    PTE is fetched for translation anyway); a write hitting a clean
+    block pays ``t_dc`` to consult the PTE.  The policy never produces
+    excess faults, but pays the check on every read-then-written
+    block, which the paper shows dominates everything else.
+    """
+
+    name = "WRITE"
+
+    def fill_page_dirty(self, pte):
+        # Page-level state never goes stale under WRITE (every first
+        # block write consults the PTE), so the cached copy is
+        # permanently "settled" and only block_dirty gates the slow
+        # path.
+        return True
+
+    def handle_write_hit(self, machine, index, vaddr, pte, page):
+        machine.counters.increment(Event.DIRTY_CHECK)
+        cycles = machine.fault_timing.dirty_check
+        if not pte.dirty:
+            cycles += self._necessary_fault(machine, pte)
+        return cycles
+
+
+class MinDirtyPolicy(DirtyBitPolicy):
+    """MIN: the lower bound.
+
+    Counts only the overhead intrinsic to every policy — the software
+    fault that sets the dirty bit on the first write to each page.
+    Checking costs nothing and stale copies refresh for free; no
+    hardware could do better, which is what makes it the comparison
+    baseline of Table 3.4.
+    """
+
+    name = "MIN"
+
+    def handle_write_hit(self, machine, index, vaddr, pte, page):
+        cache = machine.cache
+        if cache.page_dirty[index]:
+            return 0
+        if pte.dirty:
+            cache.page_dirty[index] = True
+            return 0
+        cycles = self._necessary_fault(machine, pte)
+        cache.page_dirty[index] = True
+        return cycles
+
+
+_DIRTY_POLICIES = {
+    policy.name: policy
+    for policy in (
+        FaultDirtyPolicy,
+        FlushDirtyPolicy,
+        SpurDirtyPolicy,
+        ProtectionMissDirtyPolicy,
+        WriteDirtyPolicy,
+        MinDirtyPolicy,
+    )
+}
+
+
+def make_dirty_policy(name):
+    """Construct a dirty-bit policy by its paper name."""
+    try:
+        return _DIRTY_POLICIES[name.upper()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dirty-bit policy {name!r}; expected one of "
+            f"{sorted(_DIRTY_POLICIES)}"
+        ) from None

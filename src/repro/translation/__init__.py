@@ -1,0 +1,39 @@
+"""SPUR's in-cache address translation.
+
+SPUR has no TLB.  Page-table entries live in the *global virtual*
+address space and compete with instructions and data for space in the
+unified cache [Wood86].  On a cache miss the controller computes the
+virtual address of the PTE with a shift-and-concatenate circuit and
+looks for it in the cache; on a second miss it looks for the
+second-level PTE; second-level page tables are wired at well-known
+addresses, so the controller can always fall through to main memory.
+
+This package provides the PTE format of Figure 3.2(a), the two-level
+page-table structure, and the translation engine that walks it through
+the cache.
+"""
+
+from repro.translation.pte import (
+    PTE_LAYOUT,
+    PageTableEntry,
+    pack_pte,
+    unpack_pte,
+)
+from repro.translation.pagetable import PageTable, PageTableLayout
+from repro.translation.incache import (
+    InCacheTranslator,
+    TranslationResult,
+    TranslationTiming,
+)
+
+__all__ = [
+    "InCacheTranslator",
+    "PTE_LAYOUT",
+    "PageTable",
+    "PageTableEntry",
+    "PageTableLayout",
+    "TranslationResult",
+    "TranslationTiming",
+    "pack_pte",
+    "unpack_pte",
+]

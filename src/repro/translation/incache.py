@@ -1,0 +1,127 @@
+"""The in-cache address translation engine [Wood86].
+
+On a cache miss the controller:
+
+1. computes the global virtual address of the first-level PTE with a
+   shift-and-concatenate circuit and looks for it *in the cache*,
+   using the unified cache as a very large TLB;
+2. on a miss, computes the address of the second-level PTE (which maps
+   the page-table page) and looks for *that* in the cache;
+3. on a second miss, fetches the second-level PTE directly from main
+   memory — legal because second-level page tables are wired down at
+   well-known addresses — and then fetches the first-level PTE block.
+
+PTE blocks fetched along the way are installed in the cache, where
+they compete with instructions and data for frames; that competition
+is the defining property of in-cache translation and is faithfully
+modelled (a PTE fill can evict the very data block the processor is
+about to re-fetch).
+
+Authoritative PTE *contents* live in :class:`repro.translation.
+pagetable.PageTable` (memory is the home location); the cache tracks
+which PTE blocks are resident purely for cost and conflict behaviour.
+Fault handlers update PTEs through the page table at a cost already
+folded into the handler times of Table 3.2.
+"""
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.common.types import Protection
+from repro.counters.events import Event
+
+
+@dataclass(frozen=True)
+class TranslationTiming:
+    """Cycle costs of the translation walk.
+
+    The paper prices a PTE check at 3 cycles when the PTE is in the
+    cache, with a weighted miss penalty of about 2 more cycles on
+    average (Section 3.2, WRITE analysis); the block-transfer costs of
+    actual PTE fetches come from the memory timing via the cache.
+    """
+
+    pte_check_cycles: int = 3
+    second_level_check_cycles: int = 3
+
+
+class TranslationResult(NamedTuple):
+    """Outcome of one translation walk."""
+
+    pte: object          # PageTableEntry (invalid if page not mapped)
+    cycles: int
+    first_level_hit: bool
+    second_level_hit: bool   # only meaningful when first level missed
+    went_to_memory: bool     # second-level PTE fetched from memory
+
+
+class InCacheTranslator:
+    """Walks the two-level page table through the virtual cache."""
+
+    def __init__(self, page_table, cache, timing=None, counters=None):
+        self.page_table = page_table
+        self.cache = cache
+        self.timing = timing or TranslationTiming()
+        self.counters = counters
+
+    def translate(self, vaddr):
+        """Translate a (missing) reference's address.
+
+        Returns a :class:`TranslationResult` whose ``pte`` field is the
+        live page-table entry for the page — possibly invalid, in which
+        case the caller raises a page fault, services it, and simply
+        uses the same (now valid) entry.
+        """
+        layout = self.page_table.layout
+        vpn = vaddr >> layout.page_bits
+        pte = self.page_table.entry(vpn)
+        pte_vaddr = layout.pte_vaddr(vpn)
+
+        counters = self.counters
+        if counters is not None:
+            counters.increment(Event.TRANSLATION)
+
+        cycles = self.timing.pte_check_cycles
+        if self.cache.probe(pte_vaddr) >= 0:
+            if counters is not None:
+                counters.increment(Event.PTE_CACHE_HIT)
+            return TranslationResult(pte, cycles, True, False, False)
+
+        if counters is not None:
+            counters.increment(Event.PTE_CACHE_MISS)
+            counters.increment(Event.SECOND_LEVEL_LOOKUP)
+
+        # First-level PTE missed: look for the second-level PTE.
+        second_vaddr = layout.second_level_pte_vaddr(pte_vaddr)
+        cycles += self.timing.second_level_check_cycles
+        second_hit = self.cache.probe(second_vaddr) >= 0
+        went_to_memory = False
+        if second_hit:
+            if counters is not None:
+                counters.increment(Event.SECOND_LEVEL_CACHE_HIT)
+        else:
+            # Second-level tables are wired: fetch straight from
+            # memory and cache the block.
+            went_to_memory = True
+            if counters is not None:
+                counters.increment(Event.SECOND_LEVEL_MEMORY_ACCESS)
+            _, fill_cycles = self.cache.fill(
+                second_vaddr,
+                Protection.KERNEL,
+                page_dirty=True,
+                by_write=False,
+                holds_pte=True,
+            )
+            cycles += fill_cycles
+
+        # Fetch the first-level PTE block and install it.
+        _, fill_cycles = self.cache.fill(
+            pte_vaddr,
+            Protection.KERNEL,
+            page_dirty=True,
+            by_write=False,
+            holds_pte=True,
+        )
+        cycles += fill_cycles
+        return TranslationResult(pte, cycles, False, second_hit,
+                                 went_to_memory)

@@ -1,0 +1,148 @@
+"""The SPUR page-table entry, as drawn in Figure 3.2(a).
+
+A PTE is one 32-bit word holding the physical page number plus the
+bits this paper is about:
+
+* ``PR`` — two protection bits,
+* ``C``  — coherency (bus-snooped) flag,
+* ``K``  — cacheable flag,
+* ``D``  — the *page* dirty bit,
+* ``R``  — the *page* referenced bit,
+* ``V``  — valid bit.
+
+The mutable :class:`PageTableEntry` is what the simulator manipulates;
+:func:`pack_pte`/:func:`unpack_pte` round-trip it through the hardware
+word format (and feed the Figure 3.2 renderer).
+"""
+
+from repro.common.bitfields import BitField, BitLayout
+from repro.common.types import PageKind, Protection
+
+#: Hardware word layout of a PTE (Figure 3.2a).  The physical page
+#: number occupies the top twenty bits; the flag bits sit at the bottom
+#: with a reserved hole left for the software bits Sprite kept there.
+PTE_LAYOUT = BitLayout(
+    "SPUR PTE",
+    32,
+    [
+        BitField("V", 0, 1, "Page Valid Bit"),
+        BitField("R", 1, 1, "Page Referenced Bit"),
+        BitField("D", 2, 1, "Page Dirty Bit"),
+        BitField("K", 3, 1, "Cacheable"),
+        BitField("C", 4, 1, "Coherency"),
+        BitField("PR", 5, 2, "Protection (2 bits)"),
+        BitField("PPN", 12, 20, "Physical Page Number"),
+    ],
+)
+
+
+class PageTableEntry:
+    """A mutable page-table entry.
+
+    Besides the hardware fields, the entry carries the software state
+    Sprite kept alongside: a *software dirty bit* (set by the FAULT and
+    FLUSH emulation handlers before they raise the hardware protection
+    level) and the page's origin kind (zero-fill, file, or swap) used
+    for the paper's :math:`N_{zfod}` accounting.
+    """
+
+    __slots__ = (
+        "ppn",
+        "protection",
+        "dirty",
+        "referenced",
+        "valid",
+        "cacheable",
+        "coherent",
+        "software_dirty",
+        "kind",
+    )
+
+    def __init__(
+        self,
+        ppn=0,
+        protection=Protection.NONE,
+        dirty=False,
+        referenced=False,
+        valid=False,
+        cacheable=True,
+        coherent=False,
+        software_dirty=False,
+        kind=PageKind.FILE,
+    ):
+        self.ppn = ppn
+        self.protection = protection
+        self.dirty = dirty
+        self.referenced = referenced
+        self.valid = valid
+        self.cacheable = cacheable
+        self.coherent = coherent
+        self.software_dirty = software_dirty
+        self.kind = kind
+
+    def is_modified(self):
+        """True if either the hardware or software dirty bit is set.
+
+        The FAULT/FLUSH alternatives keep the truth in the software
+        bit; the SPUR/WRITE/MIN alternatives keep it in the hardware
+        bit.  Replacement code asks this question, not either bit
+        directly.
+        """
+        return self.dirty or self.software_dirty
+
+    def clear(self):
+        """Reset the entry to the invalid state."""
+        self.ppn = 0
+        self.protection = Protection.NONE
+        self.dirty = False
+        self.referenced = False
+        self.valid = False
+        self.software_dirty = False
+
+    def __repr__(self):
+        flags = "".join(
+            letter if flag else "-"
+            for letter, flag in (
+                ("V", self.valid),
+                ("R", self.referenced),
+                ("D", self.dirty),
+                ("d", self.software_dirty),
+                ("K", self.cacheable),
+                ("C", self.coherent),
+            )
+        )
+        return (
+            f"PageTableEntry(ppn={self.ppn:#x}, "
+            f"prot={self.protection.name}, flags={flags})"
+        )
+
+
+def pack_pte(pte):
+    """Pack a :class:`PageTableEntry` into its 32-bit hardware word.
+
+    The software dirty bit and page kind are software-only state and do
+    not appear in the hardware word.
+    """
+    return PTE_LAYOUT.pack(
+        V=int(pte.valid),
+        R=int(pte.referenced),
+        D=int(pte.dirty),
+        K=int(pte.cacheable),
+        C=int(pte.coherent),
+        PR=int(pte.protection),
+        PPN=pte.ppn,
+    )
+
+
+def unpack_pte(word):
+    """Unpack a 32-bit hardware word into a :class:`PageTableEntry`."""
+    fields = PTE_LAYOUT.unpack(word)
+    return PageTableEntry(
+        ppn=fields["PPN"],
+        protection=Protection(fields["PR"]),
+        dirty=bool(fields["D"]),
+        referenced=bool(fields["R"]),
+        valid=bool(fields["V"]),
+        cacheable=bool(fields["K"]),
+        coherent=bool(fields["C"]),
+    )

@@ -1,0 +1,45 @@
+"""Free-frame allocator.
+
+A LIFO free list over the allocatable frames of a
+:class:`repro.vm.frames.FrameTable`.  The allocator never blocks; when
+it is empty the VM system must reclaim frames through the page daemon
+before asking again.  :class:`OutOfFramesError` therefore indicates a
+VM-system logic error (asked without reclaiming), not a recoverable
+condition, and the system tests assert it never escapes.
+"""
+
+from repro.common.errors import ReproError
+
+
+class OutOfFramesError(ReproError):
+    """Allocation was attempted with no free frames available."""
+
+
+class FrameAllocator:
+    """LIFO allocator over a frame table's allocatable frames."""
+
+    def __init__(self, frame_table):
+        self.frame_table = frame_table
+        self._free = list(
+            range(frame_table.num_frames - 1,
+                  frame_table.wired_frames - 1, -1)
+        )
+
+    @property
+    def free_count(self):
+        return len(self._free)
+
+    def allocate(self, vpn):
+        """Take a free frame and assign it to ``vpn``."""
+        if not self._free:
+            raise OutOfFramesError(
+                f"no free frame for page {vpn}; the caller must reclaim"
+            )
+        frame = self._free.pop()
+        self.frame_table.assign(frame, vpn)
+        return frame
+
+    def free(self, frame):
+        """Release ``frame`` back to the free list."""
+        self.frame_table.release(frame)
+        self._free.append(frame)

@@ -1,0 +1,25 @@
+"""Fault taxonomy.
+
+SPUR's cache controller reports the fault type in a status register;
+the kernel's fault dispatcher decodes it and runs the matching handler
+(the ~1000-cycle path of Table 3.2).  The simulator classifies faults
+with this enum for counter and diagnostic purposes; the handlers
+themselves live with the policies (dirty/reference) and the VM system
+(page faults).
+"""
+
+import enum
+
+
+class FaultKind(enum.Enum):
+    """Why the hardware trapped to software."""
+
+    PAGE_FAULT = "page-fault"          # invalid PTE: page not resident
+    DIRTY_FAULT = "dirty-fault"        # first write to a clean page
+    EXCESS_FAULT = "excess-fault"      # stale cached protection (Fig 3.1)
+    REFERENCE_FAULT = "reference-fault"  # reference bit needs setting
+    PROTECTION_FAULT = "protection-fault"  # genuine access violation
+
+    @property
+    def is_dirty_related(self):
+        return self in (FaultKind.DIRTY_FAULT, FaultKind.EXCESS_FAULT)

@@ -1,0 +1,173 @@
+"""The clock page daemon.
+
+Sprite's page daemon maintains a pseudo-LRU ordering of resident pages
+by periodically clearing reference bits and reclaiming pages whose
+bits are still clear on the next visit (second-chance clock).  How the
+bits are read and cleared is delegated to the active reference-bit
+policy — this indirection is exactly the paper's Section 4 experiment:
+
+* MISS: read/clear the PTE bit only (cached blocks unaffected),
+* REF: clearing also flushes the page from the cache so the next
+  reference is forced to miss and re-set the bit,
+* NOREF: reads always return false and clears do nothing, degrading
+  the clock to FIFO while eliminating all reference-bit overhead.
+"""
+
+from repro.counters.events import Event
+
+
+class ClockPageDaemon:
+    """One-hand second-chance clock over the resident page list.
+
+    The daemon runs on demand, when the allocator's free count falls
+    below ``low_water`` at page-fault time, and reclaims frames until
+    ``high_water`` are free (or it has lapped the clock twice, which
+    means everything reclaimable was reclaimed).
+    """
+
+    def __init__(self, vm, low_water, high_water):
+        if high_water < low_water or low_water < 1:
+            raise ValueError(
+                f"watermarks must satisfy 1 <= low <= high, got "
+                f"{low_water}, {high_water}"
+            )
+        self.vm = vm
+        self.low_water = low_water
+        self.high_water = high_water
+        self._clock = []          # vpns in residency order
+        self._positions = {}      # vpn -> index in _clock (for liveness)
+        self._hand = 0
+        self._poll_hand = 0
+        self.runs = 0
+        self.polls = 0
+        self.pages_examined = 0
+        self.pages_reclaimed = 0
+
+    def note_resident(self, vpn):
+        """Add a newly resident page behind the hand."""
+        self._positions[vpn] = len(self._clock)
+        self._clock.append(vpn)
+
+    def note_evicted(self, vpn):
+        """Forget a page evicted outside a daemon run."""
+        self._positions.pop(vpn, None)
+
+    def needs_run(self):
+        """Whether the free pool has fallen below the low watermark."""
+        return self.vm.allocator.free_count < self.low_water
+
+    def try_reactivate(self, vpn):
+        """The clock keeps no inactive list; nothing to rescue."""
+        del vpn
+        return False
+
+    def run(self):
+        """Advance the clock until enough frames are free.
+
+        Returns the daemon's CPU cycles (scan costs, reference-bit
+        clears including any REF-policy page flushes, and eviction
+        work; paging I/O initiated by evictions is included by the
+        VM's evict path).
+        """
+        machine = self.vm.machine
+        ref_policy = machine.reference_policy
+        page_table = self.vm.page_table
+        scan_cycles = machine.fault_timing.daemon_page_scan
+        counters = machine.counters
+
+        self.runs += 1
+        cycles = 0
+        # Two full laps bound the scan: the first lap may only clear
+        # bits, the second then reclaims whatever stayed clear.
+        budget = 2 * len(self._clock) + 1
+        while (
+            self.vm.allocator.free_count < self.high_water and budget > 0
+        ):
+            if not self._clock:
+                break
+            if self._hand >= len(self._clock):
+                self._hand = 0
+                self._compact()
+                if not self._clock:
+                    break
+            vpn = self._clock[self._hand]
+            budget -= 1
+            if vpn not in self._positions:
+                # Stale slot left by an earlier eviction.
+                self._hand += 1
+                continue
+            pte = page_table.lookup(vpn)
+            if not pte.valid:
+                self._positions.pop(vpn, None)
+                self._hand += 1
+                continue
+            self.pages_examined += 1
+            cycles += scan_cycles
+            counters.increment(Event.DAEMON_PAGE_SCAN)
+            if ref_policy.read_reference(pte):
+                cycles += ref_policy.clear_reference(machine, vpn, pte)
+                counters.increment(Event.REFERENCE_CLEAR)
+                self._hand += 1
+            else:
+                cycles += self.vm.evict(vpn)
+                self.pages_reclaimed += 1
+                self._positions.pop(vpn, None)
+                self._hand += 1
+        return cycles
+
+    def poll(self):
+        """Periodic clear-only maintenance pass (no reclaiming).
+
+        Sprite's page daemon woke on a timer and aged reference bits
+        even when memory was plentiful; without this, the standing
+        cost of *maintaining* reference information — the overhead the
+        NOREF policy exists to eliminate — would only appear under
+        paging pressure.  Each poll advances a separate hand over
+        about a sixth of the resident pages, clearing set bits through
+        the active policy (a PTE write under MISS, a page flush under
+        REF).  Returns the daemon's cycles; 0 under NOREF, whose
+        machine-dependent routines do nothing.
+        """
+        machine = self.vm.machine
+        ref_policy = machine.reference_policy
+        if not ref_policy.maintains_bits:
+            return 0
+        page_table = self.vm.page_table
+        scan_cycles = machine.fault_timing.daemon_page_scan
+        counters = machine.counters
+
+        self.polls += 1
+        cycles = 0
+        if not self._clock:
+            return 0
+        quota = max(16, len(self._clock) // 6)
+        while quota > 0:
+            if self._poll_hand >= len(self._clock):
+                self._poll_hand = 0
+            vpn = self._clock[self._poll_hand]
+            self._poll_hand += 1
+            quota -= 1
+            if vpn not in self._positions:
+                continue
+            pte = page_table.lookup(vpn)
+            if not pte.valid:
+                continue
+            self.pages_examined += 1
+            cycles += scan_cycles
+            counters.increment(Event.DAEMON_PAGE_SCAN)
+            if ref_policy.read_reference(pte):
+                cycles += ref_policy.clear_reference(machine, vpn, pte)
+                counters.increment(Event.REFERENCE_CLEAR)
+        return cycles
+
+    def _compact(self):
+        """Drop stale slots accumulated by evictions."""
+        live = [vpn for vpn in self._clock if vpn in self._positions]
+        self._clock = live
+        self._positions = {vpn: i for i, vpn in enumerate(live)}
+        if self._hand > len(live):
+            self._hand = 0
+
+    def resident_pages(self):
+        """Currently tracked resident vpns (testing hook)."""
+        return [vpn for vpn in self._clock if vpn in self._positions]

@@ -1,0 +1,373 @@
+"""The virtual-memory system façade.
+
+Owns the page table, frame table, allocator, swap device, and page
+daemon, and implements the two macro operations the machine calls:
+servicing a page fault and evicting a page.  Policy-specific behaviour
+(what protection a fresh mapping gets, how reference bits are set) is
+delegated to the machine's active dirty/reference policies, keeping
+this module policy-neutral — it is the part of "Sprite" the paper did
+*not* vary.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError, ProtectionFault
+from repro.common.types import PageKind, Protection
+from repro.counters.events import Event
+from repro.vm.allocator import FrameAllocator
+from repro.vm.frames import FrameTable
+from repro.vm.pagedaemon import ClockPageDaemon
+
+
+class VmPage:
+    """Software bookkeeping for one virtual page."""
+
+    __slots__ = ("vpn", "region", "in_swap", "frame", "page_ins",
+                 "inactive")
+
+    def __init__(self, vpn, region):
+        self.vpn = vpn
+        self.region = region
+        self.in_swap = False
+        self.frame = None
+        self.page_ins = 0
+        #: On the segmented-FIFO daemon's inactive list: unmapped but
+        #: still holding its frame, rescuable without I/O.
+        self.inactive = False
+
+    @property
+    def resident(self):
+        return self.frame is not None
+
+
+@dataclass
+class VmStats:
+    """VM-level event totals (paging I/O lives in SwapStats)."""
+
+    page_faults: int = 0
+    daemon_cycles: int = 0
+    fault_cycles: int = 0
+
+
+class VirtualMemorySystem:
+    """Sprite-like paging over the SPUR machine.
+
+    Parameters
+    ----------
+    page_table:
+        The global :class:`repro.translation.pagetable.PageTable`.
+    space_map:
+        :class:`repro.vm.segments.AddressSpaceMap` describing every
+        process region.
+    swap:
+        :class:`repro.vm.swap.SwapDevice`.
+    num_frames:
+        Allocatable + wired physical frames.
+    wired_frames:
+        Frames reserved for kernel and wired page tables.
+    low_water / high_water:
+        Page-daemon trigger and target free-frame counts; default to
+        about 3% and 6% of allocatable frames.
+    """
+
+    def __init__(
+        self,
+        page_table,
+        space_map,
+        swap,
+        num_frames,
+        wired_frames=0,
+        low_water=None,
+        high_water=None,
+        daemon_kind="clock",
+        inactive_fraction=0.25,
+    ):
+        self.page_table = page_table
+        self.space_map = space_map
+        self.swap = swap
+        self.frame_table = FrameTable(num_frames, wired_frames)
+        self.allocator = FrameAllocator(self.frame_table)
+        allocatable = self.frame_table.allocatable_frames
+        if low_water is None:
+            low_water = max(2, allocatable // 32)
+        if high_water is None:
+            high_water = max(low_water, 2 * low_water)
+        if high_water >= allocatable:
+            raise ConfigurationError(
+                "daemon high-water mark leaves no usable memory"
+            )
+        if daemon_kind == "clock":
+            self.daemon = ClockPageDaemon(self, low_water, high_water)
+        elif daemon_kind == "segfifo":
+            from repro.vm.segfifo import SegmentedFifoDaemon
+
+            inactive_target = max(
+                2, int(allocatable * inactive_fraction)
+            )
+            self.daemon = SegmentedFifoDaemon(
+                self, low_water, high_water, inactive_target
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown daemon kind {daemon_kind!r}; "
+                f"expected 'clock' or 'segfifo'"
+            )
+        self.pages = {}
+        self.stats = VmStats()
+        self.machine = None  # set by SpurMachine.attach
+
+    @property
+    def page_bytes(self):
+        return self.space_map.page_bytes
+
+    def attach_machine(self, machine):
+        """Bind the machine (or SMP facade) this VM charges costs to."""
+        self.machine = machine
+
+    def page(self, vpn):
+        """The :class:`VmPage` record for ``vpn`` (created lazily)."""
+        record = self.pages.get(vpn)
+        if record is None:
+            vaddr = vpn * self.page_bytes
+            region = self.space_map.region_of(vaddr)
+            if region is None:
+                raise ProtectionFault(
+                    vaddr, "access to unmapped global address"
+                )
+            record = VmPage(vpn, region)
+            self.pages[vpn] = record
+        return record
+
+    # -- page faults ----------------------------------------------------
+
+    def handle_page_fault(self, vpn):
+        """Make page ``vpn`` resident.  Returns handler cycles.
+
+        The sequence mirrors Sprite: reclaim frames if the free pool is
+        low, allocate a frame, fill it (swap read, file read, or zero
+        fill), and install the PTE with policy-chosen protection and
+        dirty/reference state.
+        """
+        machine = self.machine
+        timing = machine.fault_timing
+        counters = machine.counters
+        counters.increment(Event.PAGE_FAULT)
+        self.stats.page_faults += 1
+        cycles = timing.page_fault_service
+
+        page = self.page(vpn)
+
+        if page.inactive and self.daemon.try_reactivate(vpn):
+            # Segmented FIFO rescue: the frame still holds the page;
+            # remap it without any I/O (the "soft fault").
+            cycles += self.reactivate(vpn)
+            self.stats.fault_cycles += cycles
+            return cycles
+
+        if self.daemon.needs_run():
+            daemon_cycles = self.daemon.run()
+            self.stats.daemon_cycles += daemon_cycles
+            cycles += daemon_cycles
+
+        frame = self.allocator.allocate(vpn)
+        page.frame = frame
+        page.page_ins += 1
+
+        if page.in_swap:
+            cycles += self.swap.page_in(vpn)
+            counters.increment(Event.PAGE_IN)
+            kind = PageKind.SWAP
+        elif page.region.page_kind is PageKind.FILE:
+            cycles += self.swap.page_in(vpn)
+            counters.increment(Event.PAGE_IN)
+            kind = PageKind.FILE
+        else:
+            self.swap.note_zero_fill()
+            counters.increment(Event.ZERO_FILL_PAGE)
+            cycles += machine.zero_fill_cycles
+            kind = PageKind.ZERO_FILL
+
+        protection = machine.dirty_policy.map_protection(
+            page.region.writable
+        )
+        pte = self.page_table.map(vpn, frame, protection, kind)
+        machine.reference_policy.on_map(pte)
+        self.daemon.note_resident(vpn)
+        self.stats.fault_cycles += cycles
+        return cycles
+
+    # -- eviction ---------------------------------------------------------
+
+    def evict(self, vpn):
+        """Remove page ``vpn`` from memory.  Returns cycles.
+
+        Flushes the page's blocks out of the cache (dirty cache data
+        must reach memory before the frame is written to swap or
+        reused), writes the page to swap when the dirty state demands
+        it, and releases the frame.
+        """
+        machine = self.machine
+        counters = machine.counters
+        pte = self.page_table.entry(vpn)
+        if not pte.valid:
+            raise ConfigurationError(f"evicting non-resident page {vpn}")
+        page = self.page(vpn)
+
+        page_vaddr = vpn * self.page_bytes
+        cycles = machine.flush_page(page_vaddr)
+
+        modified = pte.is_modified()
+        if page.region.writable:
+            self.swap.note_writable_replacement(modified)
+
+        # Sprite writes a zero-fill page to swap on its first
+        # replacement even if clean (paper, footnote 4); thereafter,
+        # and for all other pages, only modified pages are written.
+        first_zero_fill_out = (
+            pte.kind is PageKind.ZERO_FILL and not page.in_swap
+        )
+        if modified or first_zero_fill_out:
+            cycles += self.swap.page_out(vpn)
+            counters.increment(Event.PAGE_OUT)
+            page.in_swap = True
+
+        counters.increment(Event.PAGE_RECLAIM)
+        self.page_table.unmap(vpn)
+        pte.dirty = False
+        pte.software_dirty = False
+        pte.referenced = False
+        self.allocator.free(page.frame)
+        page.frame = None
+        self.daemon.note_evicted(vpn)
+        return cycles
+
+    # -- segmented-FIFO operations (soft eviction) ------------------------
+
+    def deactivate(self, vpn):
+        """Soft-evict: unmap the page but keep its frame and contents.
+
+        The page's cache blocks must be flushed — a virtually
+        addressed cache would otherwise keep *hitting* on the unmapped
+        page, bypassing the fault that reactivation relies on (the
+        same VA-cache staleness problem the whole paper is about).
+        The PTE keeps its dirty state for the eventual hard eviction.
+        Returns cycles.
+        """
+        machine = self.machine
+        pte = self.page_table.entry(vpn)
+        if not pte.valid:
+            raise ConfigurationError(
+                f"deactivating non-resident page {vpn}"
+            )
+        page = self.page(vpn)
+        cycles = machine.flush_page(vpn * self.page_bytes)
+        pte.valid = False
+        page.inactive = True
+        machine.counters.increment(Event.PAGE_DEACTIVATE)
+        return cycles
+
+    def reactivate(self, vpn):
+        """Rescue an inactive page: remap its still-loaded frame."""
+        machine = self.machine
+        page = self.page(vpn)
+        pte = self.page_table.entry(vpn)
+        page.inactive = False
+        pte.valid = True
+        if pte.is_modified():
+            pte.protection = Protection.READ_WRITE
+        else:
+            pte.protection = machine.dirty_policy.map_protection(
+                page.region.writable
+            )
+        machine.reference_policy.on_map(pte)
+        machine.counters.increment(Event.PAGE_REACTIVATE)
+        return machine.fault_timing.page_fault_service
+
+    def evict_inactive(self, vpn):
+        """Hard-evict a page from the inactive list, freeing its frame.
+
+        The cache was already flushed at deactivation, and the PTE has
+        been invalid since — no access can have slipped in without
+        reactivating — so only the backing-store write remains.
+        """
+        machine = self.machine
+        counters = machine.counters
+        page = self.page(vpn)
+        pte = self.page_table.entry(vpn)
+        if not page.inactive or page.frame is None:
+            raise ConfigurationError(
+                f"page {vpn} is not on the inactive list"
+            )
+        cycles = 0
+        modified = pte.is_modified()
+        if page.region.writable:
+            self.swap.note_writable_replacement(modified)
+        first_zero_fill_out = (
+            pte.kind is PageKind.ZERO_FILL and not page.in_swap
+        )
+        if modified or first_zero_fill_out:
+            cycles += self.swap.page_out(vpn)
+            counters.increment(Event.PAGE_OUT)
+            page.in_swap = True
+        counters.increment(Event.PAGE_RECLAIM)
+        pte.dirty = False
+        pte.software_dirty = False
+        pte.referenced = False
+        self.allocator.free(page.frame)
+        page.frame = None
+        page.inactive = False
+        return cycles
+
+    # -- process teardown ---------------------------------------------------
+
+    def teardown_process(self, pid):
+        """Free everything a dead process owns, Sprite-style.
+
+        Without teardown, a dead process's pages linger until the
+        daemon reclaims them one by one — and its *dirty* pages get
+        pointlessly written to swap on the way out.  Teardown knows
+        the contents are garbage: cache lines are invalidated without
+        write-back, frames are freed without page-outs, and swap
+        images are dropped.
+
+        Returns ``(cycles, pages_freed)``.
+        """
+        machine = self.machine
+        # Per-line invalidation is one flush-loop iteration's worth of
+        # work; use the active flusher's cheapest per-line price.
+        line_cycles = getattr(
+            machine.flusher, "check_cycles",
+            getattr(machine.flusher, "op_cycles", 1),
+        )
+        cycles = 0
+        freed = 0
+        for vpn, page in list(self.pages.items()):
+            if page.region.pid != pid:
+                continue
+            if page.frame is not None:
+                # Invalidate the dead page's cache blocks; no
+                # write-back — nobody will ever read this data.
+                for cache in machine.caches():
+                    for index in cache.lines_of_page(
+                        vpn * self.page_bytes, self.page_bytes
+                    ):
+                        cache.invalidate(index, write_back=False)
+                        cycles += line_cycles
+                pte = self.page_table.entry(vpn)
+                pte.clear()
+                self.allocator.free(page.frame)
+                page.frame = None
+                page.inactive = False
+                self.daemon.note_evicted(vpn)
+                freed += 1
+            if page.in_swap:
+                self.swap.drop_image(vpn)
+                page.in_swap = False
+            del self.pages[vpn]
+        return cycles, freed
+
+    def resident_pages(self):
+        """vpns currently resident (testing and diagnostics)."""
+        return [
+            vpn for vpn, page in self.pages.items() if page.resident
+        ]

@@ -1,0 +1,68 @@
+"""Workload abstractions.
+
+A :class:`Workload` is a recipe; :meth:`Workload.instantiate` binds it
+to a page size and seed, producing a :class:`WorkloadInstance` whose
+``accesses()`` iterator the machine consumes.  Instances are one-shot
+(generators are consumed); re-instantiate for each run, which is also
+how repetitions get fresh-but-reproducible randomness.
+
+References are plain ``(kind, vaddr)`` int tuples — the hot loop in
+:mod:`repro.machine.simulator` depends on there being no per-reference
+object construction beyond the tuple itself.
+"""
+
+from repro.common.rng import DeterministicRng
+
+#: Integer access kinds matching ``int(AccessKind.*)``; workload code
+#: uses these bare ints for speed.
+IFETCH = 0
+READ = 1
+WRITE = 2
+
+
+class WorkloadInstance:
+    """A bound, runnable workload.
+
+    Attributes
+    ----------
+    name:
+        Workload name, e.g. ``"WORKLOAD1"``.
+    space_map:
+        The :class:`repro.vm.segments.AddressSpaceMap` describing every
+        region the reference stream can touch.
+    length_hint:
+        Approximate number of references ``accesses()`` will yield.
+    """
+
+    def __init__(self, name, space_map, access_factory, length_hint):
+        self.name = name
+        self.space_map = space_map
+        self._access_factory = access_factory
+        self.length_hint = length_hint
+        self._consumed = False
+
+    def accesses(self):
+        """The reference stream.  May be called once per instance."""
+        if self._consumed:
+            raise RuntimeError(
+                "workload instance already consumed; instantiate a "
+                "fresh one per run"
+            )
+        self._consumed = True
+        return self._access_factory()
+
+
+class Workload:
+    """Base class for workload recipes."""
+
+    #: Name used in result tables; matches the paper where applicable.
+    name = "ABSTRACT"
+
+    def instantiate(self, page_bytes, seed=0):
+        """Bind to a page size and seed; returns a WorkloadInstance."""
+        raise NotImplementedError
+
+    def _rng(self, seed):
+        """Seeded RNG namespaced by workload, so WORKLOAD1 seed 3 and
+        SLC seed 3 do not share draws."""
+        return DeterministicRng(seed).substream(self.name)

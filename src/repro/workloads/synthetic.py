@@ -1,0 +1,310 @@
+"""Phased synthetic process model.
+
+A :class:`PhasedProcess` walks a script of :class:`Phase` records, each
+describing a program phase: which code pages are hot, which slice of
+the heap forms the data working set, the read/write mix, how much
+read-modify-write behaviour there is (the source of the paper's
+:math:`N_{w\\text{-}hit}` events), how fast fresh zero-fill pages are
+allocated (the source of :math:`N_{zfod}`), and how much sequential
+file scanning happens.
+
+References are emitted in reusable *bursts* — short instruction/data
+sequences repeated a few times — which both models loop locality and
+keeps Python-side generation cost far below the simulator's per-
+reference cost.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.vm.segments import RegionKind
+from repro.workloads.base import IFETCH, READ, WRITE
+
+#: Cache block size assumed by the generators (fixed across scales).
+BLOCK_BYTES = 32
+WORD_BYTES = 4
+
+
+class ProcessImage:
+    """The regions of one process, carved from the global space.
+
+    Parameters are in *pages* of the configured page size; the image
+    allocates code, data (file-backed writable), heap and stack
+    regions, plus an optional read-only file region for scans.
+    """
+
+    def __init__(self, space, code_pages, heap_pages, stack_pages=2,
+                 data_pages=0, file_pages=0):
+        page = space.space_map.page_bytes
+        self.pid = space.pid
+        self.page_bytes = page
+        self.blocks_per_page = page // BLOCK_BYTES
+        self.code = space.add_region("code", RegionKind.CODE,
+                                     code_pages * page)
+        self.data = (
+            space.add_region("data", RegionKind.DATA, data_pages * page)
+            if data_pages else None
+        )
+        self.heap = space.add_region("heap", RegionKind.HEAP,
+                                     heap_pages * page)
+        self.stack = space.add_region("stack", RegionKind.STACK,
+                                      stack_pages * page)
+        self.file = (
+            space.add_region("file", RegionKind.FILE, file_pages * page)
+            if file_pages else None
+        )
+        self.code_pages = code_pages
+        self.heap_pages = heap_pages
+        self.data_pages = data_pages
+        self.file_pages = file_pages
+        self.alloc_cursor = 0   # next fresh heap page to allocate
+        self.scan_cursor = 0    # next file page to scan
+
+
+@dataclass
+class Phase:
+    """One program phase of a synthetic process.
+
+    Attributes
+    ----------
+    duration:
+        Approximate references to emit.
+    code_hot_pages:
+        Size of the hot code footprint (pages from the code region's
+        start).
+    ws_start, ws_pages:
+        The heap slice forming this phase's data working set.
+    ifetch_per_op:
+        Instructions fetched per data operation (the prototype's
+        instruction buffer was disabled, so fetches dominate the mix).
+    write_frac:
+        Fraction of data operations that are writes.
+    rmw_frac:
+        Fraction of *writes* preceded by a read of the same block —
+        these populate the cache by read and modify later, producing
+        w-hit events and (while the page is clean) excess faults.
+    alloc_pages:
+        Fresh zero-fill heap pages touched during the phase,
+        write-first (Sprite's ZFOD behaviour).
+    alloc_write_frac:
+        Fraction of each fresh page's blocks written at allocation.
+    scan_pages:
+        File pages read sequentially during the phase.
+    data_skew:
+        Zipf-style skew of page popularity inside the working set.
+    stack_frac:
+        Fraction of data operations directed at the stack top.
+    """
+
+    duration: int
+    code_hot_pages: int = 2
+    ws_start: int = 0
+    ws_pages: int = 4
+    ifetch_per_op: int = 3
+    write_frac: float = 0.30
+    rmw_frac: float = 0.20
+    alloc_pages: int = 0
+    alloc_write_frac: float = 0.75
+    scan_pages: int = 0
+    data_skew: float = 1.0
+    stack_frac: float = 0.05
+    #: Fraction of data operations directed at the file-backed
+    #: writable DATA region (read-mostly: mailboxes, editor buffers,
+    #: mapped databases).  These are the pages Table 3.5 finds clean
+    #: at replacement.
+    data_frac: float = 0.0
+    data_ws_pages: int = 0
+    data_write_frac: float = 0.05
+
+    def validate(self, image):
+        """Check the phase fits the image's regions; raise if not."""
+        if self.duration <= 0:
+            raise ConfigurationError("phase duration must be positive")
+        if self.code_hot_pages > image.code_pages:
+            raise ConfigurationError("hot code exceeds the code region")
+        if self.ws_start + self.ws_pages > image.heap_pages:
+            raise ConfigurationError(
+                "working set exceeds the heap region"
+            )
+        if self.scan_pages and image.file is None:
+            raise ConfigurationError("phase scans but image has no file")
+        if self.data_frac:
+            if image.data is None:
+                raise ConfigurationError(
+                    "phase touches data but image has no data region"
+                )
+            if self.data_ws_pages > image.data_pages:
+                raise ConfigurationError(
+                    "data working set exceeds the data region"
+                )
+        if not 0 <= self.write_frac <= 1 or not 0 <= self.rmw_frac <= 1:
+            raise ConfigurationError("fractions must lie in [0, 1]")
+
+
+class PhasedProcess:
+    """Generator of one process's reference stream from a phase script."""
+
+    def __init__(self, image, phases, rng, burst_ops=48,
+                 burst_repeats=(3, 8)):
+        self.image = image
+        self.phases = list(phases)
+        for phase in self.phases:
+            phase.validate(image)
+        self.rng = rng
+        self.burst_ops = burst_ops
+        self.burst_repeats = burst_repeats
+        self.length_hint = sum(p.duration for p in self.phases)
+
+    def accesses(self):
+        """Yield ``(kind, vaddr)`` across all phases in order."""
+        for phase in self.phases:
+            yield from self._run_phase(phase)
+
+    # -- phase machinery ---------------------------------------------------
+
+    def _run_phase(self, phase):
+        image = self.image
+        rng = self.rng
+        emitted = 0
+        # Spread allocations and scans evenly through the phase.
+        # A bound no emitted count can reach (bursts may overshoot the
+        # phase duration by one burst, never by orders of magnitude).
+        never = float("inf")
+        alloc_every = (
+            phase.duration // phase.alloc_pages if phase.alloc_pages
+            else never
+        )
+        scan_every = (
+            phase.duration // phase.scan_pages if phase.scan_pages
+            else never
+        )
+        next_alloc = alloc_every
+        next_scan = scan_every
+
+        while emitted < phase.duration:
+            burst = self._make_burst(phase)
+            low, high = self.burst_repeats
+            for _ in range(rng.randint(low, high)):
+                yield from burst
+                emitted += len(burst)
+                if emitted >= next_alloc:
+                    alloc = self._alloc_page(phase)
+                    yield from alloc
+                    emitted += len(alloc)
+                    next_alloc += alloc_every
+                if emitted >= next_scan:
+                    scan = self._scan_page()
+                    yield from scan
+                    emitted += len(scan)
+                    next_scan += scan_every
+                if emitted >= phase.duration:
+                    break
+
+    def _make_burst(self, phase):
+        """Build one reusable loop-body burst for a phase."""
+        image = self.image
+        rng = self.rng
+        page_bytes = image.page_bytes
+        blocks = image.blocks_per_page
+        code_base = image.code.start
+        heap_base = image.heap.start
+        stack_top = image.stack.end - page_bytes
+
+        burst = []
+        append = burst.append
+
+        # One hot code page per burst, fetched sequentially — a loop.
+        code_page = rng.zipf_index(phase.code_hot_pages, skew=1.5)
+        code_page_base = code_base + code_page * page_bytes
+        code_offset = rng.randrange(blocks) * BLOCK_BYTES
+
+        for _ in range(self.burst_ops):
+            for _ in range(phase.ifetch_per_op):
+                append((IFETCH, code_page_base + code_offset))
+                code_offset = (code_offset + WORD_BYTES) % page_bytes
+
+            roll = rng.random()
+            if roll < phase.stack_frac:
+                # Stack traffic: write-then-read near the top.
+                offset = rng.randrange(blocks) * BLOCK_BYTES
+                append((WRITE, stack_top + offset))
+                append((READ, stack_top + offset))
+                continue
+            if roll < phase.stack_frac + phase.data_frac:
+                # Read-mostly traffic over file-backed writable data.
+                data_page = rng.zipf_index(
+                    max(1, phase.data_ws_pages), skew=0.3
+                )
+                addr = (
+                    image.data.start
+                    + data_page * page_bytes
+                    + rng.randrange(blocks) * BLOCK_BYTES
+                )
+                if rng.random() < phase.data_write_frac:
+                    append((WRITE, addr))
+                else:
+                    append((READ, addr))
+                continue
+
+            page = phase.ws_start + rng.zipf_index(
+                phase.ws_pages, skew=phase.data_skew
+            )
+            block = rng.randrange(blocks)
+            addr = (
+                heap_base
+                + page * page_bytes
+                + block * BLOCK_BYTES
+                + rng.randrange(BLOCK_BYTES // WORD_BYTES) * WORD_BYTES
+            )
+            if rng.random() < phase.write_frac:
+                if rng.random() < phase.rmw_frac:
+                    # Scatter-gather update: read a run of consecutive
+                    # blocks, then write most of them back.  This is
+                    # the Figure 3.1 pattern — several blocks of one
+                    # page enter the cache by read and are modified
+                    # afterwards — and is what generates the paper's
+                    # N_w-hit events and, while the page is still
+                    # clean, its excess faults / dirty-bit misses.
+                    page_base = heap_base + page * page_bytes
+                    span = 2 + rng.randrange(2)
+                    run = [
+                        page_base + ((block + i) % blocks) * BLOCK_BYTES
+                        for i in range(span)
+                    ]
+                    for run_addr in run:
+                        append((READ, run_addr))
+                    for run_addr in run:
+                        if rng.random() < 0.55:
+                            append((WRITE, run_addr))
+                else:
+                    append((WRITE, addr))
+            else:
+                append((READ, addr))
+        return burst
+
+    def _alloc_page(self, phase):
+        """Touch one fresh zero-fill heap page, write-first."""
+        image = self.image
+        page_bytes = image.page_bytes
+        page = image.alloc_cursor % image.heap_pages
+        image.alloc_cursor += 1
+        base = image.heap.start + page * page_bytes
+        refs = []
+        written = max(
+            1, int(image.blocks_per_page * phase.alloc_write_frac)
+        )
+        for block in range(written):
+            refs.append((WRITE, base + block * BLOCK_BYTES))
+        return refs
+
+    def _scan_page(self):
+        """Sequentially read one file page (compiler input, etc.)."""
+        image = self.image
+        page_bytes = image.page_bytes
+        page = image.scan_cursor % image.file_pages
+        image.scan_cursor += 1
+        base = image.file.start + page * page_bytes
+        return [
+            (READ, base + block * BLOCK_BYTES)
+            for block in range(image.blocks_per_page)
+        ]

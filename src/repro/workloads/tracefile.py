@@ -1,0 +1,71 @@
+"""Trace serialisation.
+
+A tiny binary format for storing reference streams: useful for exact
+repeatability across machines, for regression-testing the generators,
+and for replaying a captured stream against many configurations
+without regeneration cost.
+
+Format: an 16-byte header (magic, version, record count) followed by
+one ``<BQ`` record per reference (kind byte, 64-bit virtual address),
+little endian throughout.
+"""
+
+import struct
+
+from repro.common.errors import TraceFormatError
+
+_MAGIC = b"SPURTRC1"
+_HEADER = struct.Struct("<8sQ")
+_RECORD = struct.Struct("<BQ")
+_CHUNK_RECORDS = 4096
+
+
+def write_trace(path, accesses):
+    """Write ``(kind, vaddr)`` tuples to ``path``; returns the count."""
+    count = 0
+    pack = _RECORD.pack
+    with open(path, "wb") as stream:
+        stream.write(_HEADER.pack(_MAGIC, 0))  # count patched below
+        buffer = []
+        for kind, vaddr in accesses:
+            buffer.append(pack(kind, vaddr))
+            count += 1
+            if len(buffer) >= _CHUNK_RECORDS:
+                stream.write(b"".join(buffer))
+                buffer.clear()
+        if buffer:
+            stream.write(b"".join(buffer))
+        stream.seek(0)
+        stream.write(_HEADER.pack(_MAGIC, count))
+    return count
+
+
+def read_trace(path):
+    """Yield ``(kind, vaddr)`` tuples from a trace file.
+
+    Raises
+    ------
+    TraceFormatError
+        On a bad magic number or a truncated file.
+    """
+    record = _RECORD
+    record_size = record.size
+    with open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError(f"{path}: truncated header")
+        magic, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        remaining = count
+        while remaining > 0:
+            chunk = stream.read(record_size * min(remaining,
+                                                  _CHUNK_RECORDS))
+            if not chunk or len(chunk) % record_size:
+                raise TraceFormatError(
+                    f"{path}: truncated after "
+                    f"{count - remaining} of {count} records"
+                )
+            for offset in range(0, len(chunk), record_size):
+                yield record.unpack_from(chunk, offset)
+            remaining -= len(chunk) // record_size

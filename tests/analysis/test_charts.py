@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_longest_bar_belongs_to_peak(self):
+        text = bar_chart([("a", 10), ("b", 5)], width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_labels_and_values_present(self):
+        text = bar_chart([("miss", 3), ("ref", 4)], title="T")
+        assert "T" in text
+        assert "miss" in text and "4" in text
+
+    def test_zero_values_render(self):
+        text = bar_chart([("a", 0), ("b", 0)])
+        assert "#" not in text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1)])
+
+    def test_empty(self):
+        assert bar_chart([], title="empty") == "empty"
+
+
+class TestLinePlot:
+    def test_marks_and_legend(self):
+        text = line_plot(
+            {"miss": [(0, 1), (1, 2)], "ref": [(0, 2), (1, 4)]},
+            width=20, height=5,
+        )
+        assert "o = miss" in text
+        assert "x = ref" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_bounds_shown(self):
+        text = line_plot({"s": [(40, 100), (64, 900)]},
+                         width=20, height=5)
+        assert "40" in text and "64" in text
+        assert "100" in text and "900" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot({"s": [(0, 5), (1, 5)]}, width=10, height=3)
+        assert "o" in text
+
+    def test_empty(self):
+        assert line_plot({}, title="t") == "t"
+
+
+class TestSparkline:
+    def test_monotone_values_monotone_glyphs(self):
+        levels = " .:#"
+        line = sparkline([0, 1, 2, 3], levels=levels)
+        assert line == " .:#"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_empty(self):
+        assert sparkline([]) == ""

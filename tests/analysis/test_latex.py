@@ -1,0 +1,75 @@
+"""Tests for LaTeX table output."""
+
+import pytest
+
+from repro.analysis.latex import escape, table_to_latex
+from repro.analysis.tables import Table
+
+
+class TestEscape:
+    def test_special_characters(self):
+        assert escape("50%") == r"50\%"
+        assert escape("a_b") == r"a\_b"
+        assert escape("x & y") == r"x \& y"
+        assert escape("$5") == r"\$5"
+
+    def test_backslash(self):
+        assert escape("a\\b") == r"a\textbackslash{}b"
+
+    def test_plain_text_untouched(self):
+        assert escape("WORKLOAD1") == "WORKLOAD1"
+
+    def test_non_string_cells(self):
+        assert escape(42) == "42"
+
+
+class TestTableConversion:
+    def make_table(self):
+        table = Table("Table 4.1: Reference Bit Results",
+                      ["Workload", "Policy", "Page-Ins"])
+        table.add_row("SLC", "MISS", "3291 (100%)")
+        table.add_row("  (paper)", "MISS", "4647 (100%)")
+        table.add_separator()
+        table.add_row("SLC", "REF", "3255 (99%)")
+        table.add_note("percentages relative to MISS")
+        return table
+
+    def test_structure(self):
+        tex = table_to_latex(self.make_table())
+        assert r"\begin{tabular}{lll}" in tex
+        assert r"\toprule" in tex and r"\bottomrule" in tex
+        assert tex.count(r"\midrule") == 2  # header + separator
+
+    def test_cells_escaped(self):
+        tex = table_to_latex(self.make_table())
+        assert r"3291 (100\%)" in tex
+
+    def test_paper_rows_grey(self):
+        tex = table_to_latex(self.make_table())
+        assert r"\textcolor{gray}" in tex
+
+    def test_caption_label_notes(self):
+        tex = table_to_latex(self.make_table(),
+                             caption="Reference bits",
+                             label="tab:refbits")
+        assert r"\caption{Reference bits}" in tex
+        assert r"\label{tab:refbits}" in tex
+        assert r"\footnotesize percentages" in tex
+
+    def test_default_caption_is_title(self):
+        tex = table_to_latex(self.make_table())
+        assert r"\caption{Table 4.1: Reference Bit Results}" in tex
+
+
+class TestEndToEnd:
+    def test_real_driver_output_converts(self):
+        from repro.analysis.experiments import build_table_3_4
+
+        _, table = build_table_3_4()
+        tex = table_to_latex(table, label="tab:overheads")
+        assert "WORKLOAD1" in tex
+        assert r"\end{table}" in tex
+        # Every data row has the right number of columns.
+        for line in tex.splitlines():
+            if line.endswith(r"\\") and "&" in line:
+                assert line.count("&") == len(table.columns) - 1

@@ -1,0 +1,74 @@
+"""Consistency checks on the transcribed paper data.
+
+These tests cross-validate the transcription against itself: the
+published Table 3.4 must be regenerable from the published Table 3.3
+through our cost models, and Table 3.5's derived percentages must
+follow from its raw columns.  A typo in either table breaks the chain.
+"""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.policies.costs import overhead_table
+
+
+class TestTable33To34Chain:
+    @pytest.mark.parametrize(
+        "key", sorted(paper_data.TABLE_3_3), ids=str
+    )
+    def test_published_table_3_4_reproduces(self, key):
+        counts, _ = paper_data.TABLE_3_3[key]
+        ours = overhead_table(counts, paper_data.TABLE_3_2)
+        for policy, (mcycles, ratio) in paper_data.TABLE_3_4[key].items():
+            got_mcycles = ours[policy][0] / 1e6
+            assert got_mcycles == pytest.approx(mcycles, rel=0.02), (
+                f"{key} {policy}"
+            )
+            assert ours[policy][1] == pytest.approx(ratio, rel=0.02)
+
+
+class TestTable35Consistency:
+    @pytest.mark.parametrize(
+        "row", paper_data.TABLE_3_5, ids=lambda r: f"{r[0]}-{r[2]}h"
+    )
+    def test_percentages_follow_from_counts(self, row):
+        (_, _, _, page_ins, potentially, not_modified,
+         pct_not, pct_additional) = row
+        derived_not = 100.0 * not_modified / potentially
+        assert derived_not == pytest.approx(pct_not, abs=1.0)
+        modified = potentially - not_modified
+        derived_additional = (
+            100.0 * not_modified / (page_ins + modified)
+        )
+        assert derived_additional == pytest.approx(
+            pct_additional, abs=0.15
+        )
+
+
+class TestTable41Consistency:
+    def test_percentages_relative_to_miss(self):
+        for (workload, mb, policy), (
+            page_ins, pct, elapsed, elapsed_pct
+        ) in paper_data.TABLE_4_1.items():
+            base = paper_data.TABLE_4_1[(workload, mb, "MISS")]
+            derived = round(100.0 * page_ins / base[0])
+            assert abs(derived - pct) <= 1, (workload, mb, policy)
+
+    def test_headline_claims_hold_in_the_data(self):
+        # MISS always has the fastest or tied elapsed time except
+        # WORKLOAD1 at 8 MB, where NOREF wins by 2%.
+        for workload in ("SLC", "WORKLOAD1"):
+            for mb in (5, 6, 8):
+                miss = paper_data.TABLE_4_1[(workload, mb, "MISS")]
+                noref = paper_data.TABLE_4_1[(workload, mb, "NOREF")]
+                ref = paper_data.TABLE_4_1[(workload, mb, "REF")]
+                assert ref[2] >= miss[2]  # REF never faster
+                if (workload, mb) != ("WORKLOAD1", 8):
+                    assert noref[2] >= miss[2]
+
+
+class TestMemoryPoints:
+    def test_ratios_consistent_with_cache_size(self):
+        # 128 KB cache: 5 MB = 40x, 6 MB = 48x, 8 MB = 64x.
+        for mb, ratio in paper_data.MEMORY_POINTS:
+            assert ratio == mb * 8

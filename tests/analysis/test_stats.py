@@ -1,0 +1,98 @@
+"""Unit tests for the experiment statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    PairedComparison,
+    Summary,
+    paired,
+    relative,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.std == pytest.approx(2.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+
+    def test_single_observation(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.sem == 0.0
+        assert summary.ci95() == 0.0
+
+    def test_sem_and_ci(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.sem == pytest.approx(
+            summary.std / 2.0
+        )
+        assert summary.ci95() == pytest.approx(1.96 * summary.sem)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_integer_inputs_accepted(self):
+        assert summarize([1, 2, 3]).mean == pytest.approx(2.0)
+
+    def test_str_formats(self):
+        assert str(summarize([5.0])) == "5"
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestPaired:
+    def test_mean_difference(self):
+        comparison = paired([5.0, 7.0, 9.0], [4.0, 5.0, 6.0])
+        assert comparison.mean_difference == pytest.approx(2.0)
+        assert comparison.n == 3
+
+    def test_consistent_sign(self):
+        assert paired([2, 3], [1, 2]).consistent_sign
+        assert not paired([2, 1], [1, 2]).consistent_sign
+
+    def test_clearly_nonzero(self):
+        tight = paired([10.0, 10.1, 10.2], [5.0, 5.1, 5.2])
+        assert tight.clearly_nonzero
+        noisy = paired([10.0, 2.0, 7.0], [5.0, 9.0, 6.0])
+        assert not noisy.clearly_nonzero
+
+    def test_single_pair_never_clear(self):
+        assert not paired([3.0], [1.0]).clearly_nonzero
+
+    def test_removes_between_seed_variance(self):
+        # Raw samples overlap heavily, but the paired differences are
+        # constant: the comparison must come out clear.
+        baseline = [100.0, 200.0, 300.0, 400.0]
+        values = [b + 1.0 for b in baseline]
+        comparison = paired(values, baseline)
+        assert comparison.clearly_nonzero
+        assert comparison.std_difference == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired([1.0], [])
+        with pytest.raises(ValueError):
+            paired([], [])
+
+    def test_str_verdicts(self):
+        assert "clear" in str(paired([2.0, 2.0], [1.0, 1.0]))
+        assert "single run" in str(paired([2.0], [1.0]))
+
+
+class TestRelative:
+    def test_paired_ratios(self):
+        assert relative([2.0, 6.0], [1.0, 3.0]) == [2.0, 2.0]
+
+    def test_zero_baseline_is_nan(self):
+        import math
+        result = relative([1.0], [0.0])
+        assert math.isnan(result[0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative([1.0], [1.0, 2.0])

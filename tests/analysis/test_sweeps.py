@@ -1,0 +1,106 @@
+"""Tests for the generic sweep driver."""
+
+import pytest
+
+from repro.analysis.sweeps import METRICS, SweepDriver
+from repro.machine.config import scaled_config
+from repro.workloads.slc import SlcWorkload
+
+SCALE = 0.005
+
+
+def make_driver(**kwargs):
+    values = kwargs.pop("values", (40, 64))
+    field = kwargs.pop("field", "memory_bytes")
+    if field == "memory_bytes":
+        base = scaled_config(memory_ratio=40)
+        values = tuple(
+            ratio * base.cache.size_bytes for ratio in (40, 64)
+        )
+    else:
+        base = scaled_config(memory_ratio=40)
+    return SweepDriver(
+        base,
+        field,
+        values,
+        lambda: SlcWorkload(length_scale=SCALE),
+        **kwargs,
+    )
+
+
+class TestDriver:
+    def test_field_sweep_runs_every_point(self):
+        driver = make_driver()
+        results = driver.run()
+        assert set(results) == {""}
+        assert len(results[""]) == 2
+        memories = {
+            run.memory_bytes for run in results[""].values()
+        }
+        assert len(memories) == 2
+
+    def test_variants_produce_series(self):
+        driver = make_driver()
+        results = driver.run(variants={
+            "MISS": lambda c: c.with_policies(reference="MISS"),
+            "NOREF": lambda c: c.with_policies(reference="NOREF"),
+        })
+        assert set(results) == {"MISS", "NOREF"}
+        for series in results.values():
+            for run in series.values():
+                assert run.references > 0
+
+    def test_callable_field(self):
+        def bump_wired(config, value):
+            import dataclasses
+            return dataclasses.replace(config, wired_frames=value)
+
+        driver = SweepDriver(
+            scaled_config(memory_ratio=40), bump_wired, (4, 8),
+            lambda: SlcWorkload(length_scale=SCALE),
+        )
+        results = driver.run()
+        assert len(results[""]) == 2
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            SweepDriver(
+                scaled_config(), "not_a_field", (1,),
+                lambda: SlcWorkload(length_scale=SCALE),
+            )
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            SweepDriver(
+                scaled_config(), "memory_bytes", (),
+                lambda: SlcWorkload(length_scale=SCALE),
+            )
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        driver = make_driver()
+        return driver, driver.run()
+
+    def test_tabulate(self, sweep):
+        driver, results = sweep
+        text = driver.tabulate(results, "page_ins").render()
+        assert "memory_bytes" in text
+        assert "page_ins" in text
+
+    def test_plot(self, sweep):
+        driver, results = sweep
+        text = driver.plot(results, "cycles", width=20, height=5)
+        assert "cycles vs memory_bytes" in text
+
+    def test_custom_metric_callable(self, sweep):
+        driver, results = sweep
+        text = driver.tabulate(
+            results, lambda run: run.zero_fills
+        ).render()
+        assert "Sweep of memory_bytes" in text
+
+    def test_standard_metrics_registry(self):
+        assert "page_ins" in METRICS
+        assert "cycles_per_reference" in METRICS

@@ -1,0 +1,59 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_percent, format_ratio
+
+
+class TestFormatting:
+    def test_format_ratio(self):
+        assert format_ratio(1.68, 1.44) == "1.68 (1.17)"
+
+    def test_format_ratio_zero_reference(self):
+        assert format_ratio(5, 0) == "5"
+
+    def test_format_percent(self):
+        assert format_percent(4738, 4647) == "4738 (102%)"
+
+    def test_format_percent_zero_reference(self):
+        assert format_percent(10, 0) == "10"
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Demo", ["a", "bb"])
+        table.add_row(1, "xyz")
+        table.add_note("a note")
+        text = table.render()
+        assert "Demo" in text
+        assert "xyz" in text
+        assert "note: a note" in text
+
+    def test_columns_aligned(self):
+        table = Table("T", ["col"])
+        table.add_row("short")
+        table.add_row("a much longer cell")
+        lines = [
+            line for line in table.render().splitlines()
+            if line.startswith("|")
+        ]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_separator_renders_as_rule(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        table.add_separator()
+        table.add_row(2)
+        body = table.render().splitlines()
+        rules = [line for line in body if line.startswith("+")]
+        assert len(rules) >= 4  # header rules + separator + footer
+
+    def test_str_equals_render(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        assert str(table) == table.render()

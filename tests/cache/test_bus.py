@@ -1,0 +1,110 @@
+"""Unit tests for the snoopy bus and multi-cache coherency."""
+
+import pytest
+
+from repro.cache.bus import SnoopyBus
+from repro.cache.cache import VirtualCache
+from repro.cache.coherence import CoherencyState
+from repro.common.params import CacheGeometry, MemoryTiming
+from repro.common.types import Protection
+
+
+def two_caches():
+    bus = SnoopyBus()
+    caches = []
+    for name in ("cpu0", "cpu1"):
+        cache = VirtualCache(
+            CacheGeometry(size_bytes=1024, block_bytes=32),
+            MemoryTiming(),
+            name=name,
+        )
+        bus.attach(cache)
+        caches.append(cache)
+    return bus, caches[0], caches[1]
+
+
+class TestAttachment:
+    def test_attach_sets_back_reference(self):
+        bus, a, b = two_caches()
+        assert a.bus is bus and b.bus is bus
+
+    def test_double_attach_rejected(self):
+        bus, a, _ = two_caches()
+        with pytest.raises(ValueError):
+            bus.attach(a)
+
+
+class TestCoherency:
+    def test_write_fill_invalidates_other_copies(self):
+        _, a, b = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, False, False)
+        b.fill(0x40, Protection.READ_WRITE, False, True)
+        assert a.probe(0x40) == -1
+        assert b.view(b.probe(0x40)).state is (
+            CoherencyState.OWNED_EXCLUSIVE
+        )
+
+    def test_read_fill_downgrades_exclusive_owner(self):
+        _, a, b = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, True, True)  # owned excl
+        b.fill(0x40, Protection.READ_WRITE, False, False)
+        assert a.view(a.probe(0x40)).state is (
+            CoherencyState.OWNED_SHARED
+        )
+
+    def test_ownership_acquisition_invalidates_sharers(self):
+        _, a, b = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, False, False)
+        b.fill(0x40, Protection.READ_WRITE, False, False)
+        index = b.probe(0x40)
+        b.acquire_ownership(index)
+        assert a.probe(0x40) == -1
+        assert b.view(index).state is CoherencyState.OWNED_EXCLUSIVE
+
+    def test_snoop_invalidation_does_not_write_back(self):
+        # Ownership (and dirty data) moves over the bus; the loser must
+        # not also write to memory.
+        _, a, b = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, True, True)
+        write_backs = a.stats["write_backs"]
+        b.fill(0x40, Protection.READ_WRITE, True, True)
+        assert a.stats["write_backs"] == write_backs
+
+
+class TestTrafficAccounting:
+    def test_transactions_counted(self):
+        bus, a, b = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, False, False)
+        b.fill(0x80, Protection.READ_WRITE, False, False)
+        assert bus.transactions == 2
+
+    def test_snoop_hits_counted(self):
+        bus, a, b = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, False, False)
+        b.fill(0x40, Protection.READ_WRITE, False, False)
+        assert bus.snoop_hits == 1
+
+    def test_ownership_transfers_counted(self):
+        bus, a, b = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, True, True)
+        b.fill(0x40, Protection.READ_WRITE, False, True)  # read-owned
+        assert bus.ownership_transfers == 1
+
+    def test_reset_stats(self):
+        bus, a, _ = two_caches()
+        a.fill(0x40, Protection.READ_WRITE, False, False)
+        bus.reset_stats()
+        assert bus.transactions == 0
+
+
+class TestUniprocessor:
+    def test_single_cache_broadcasts_reach_no_one(self):
+        bus = SnoopyBus()
+        cache = VirtualCache(
+            CacheGeometry(size_bytes=1024, block_bytes=32),
+            MemoryTiming(),
+        )
+        bus.attach(cache)
+        cache.fill(0x40, Protection.READ_WRITE, False, True)
+        assert bus.transactions == 1
+        assert bus.snoop_hits == 0

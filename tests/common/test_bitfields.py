@@ -1,0 +1,109 @@
+"""Unit tests for the declarative bit-field layer."""
+
+import pytest
+
+from repro.common.bitfields import BitField, BitLayout
+from repro.common.errors import ConfigurationError
+
+
+def make_layout():
+    return BitLayout(
+        "test",
+        16,
+        [
+            BitField("V", 0, 1, "valid"),
+            BitField("PR", 1, 2, "protection"),
+            BitField("PPN", 8, 8, "page number"),
+        ],
+    )
+
+
+class TestBitField:
+    def test_msb(self):
+        assert BitField("x", 3, 4).msb == 6
+
+    def test_mask_is_shifted(self):
+        assert BitField("x", 3, 4).mask == 0b1111000
+
+    def test_max_value(self):
+        assert BitField("x", 0, 3).max_value == 7
+
+    def test_extract(self):
+        field = BitField("x", 4, 4)
+        assert field.extract(0xAB) == 0xA
+
+    def test_insert_replaces_only_its_bits(self):
+        field = BitField("x", 4, 4)
+        assert field.insert(0xFF, 0x3) == 0x3F
+
+    def test_insert_rejects_oversized_value(self):
+        with pytest.raises(ValueError):
+            BitField("x", 0, 2).insert(0, 4)
+
+    def test_insert_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            BitField("x", 0, 2).insert(0, -1)
+
+
+class TestBitLayout:
+    def test_pack_unpack_round_trip(self):
+        layout = make_layout()
+        word = layout.pack(V=1, PR=2, PPN=0x5A)
+        assert layout.unpack(word) == {"V": 1, "PR": 2, "PPN": 0x5A}
+
+    def test_pack_defaults_unnamed_fields_to_zero(self):
+        layout = make_layout()
+        assert layout.unpack(layout.pack(V=1))["PPN"] == 0
+
+    def test_pack_rejects_unknown_field(self):
+        with pytest.raises(KeyError):
+            make_layout().pack(BOGUS=1)
+
+    def test_unpack_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            make_layout().unpack(1 << 16)
+
+    def test_set_and_get_single_field(self):
+        layout = make_layout()
+        word = layout.pack(V=1, PR=1, PPN=9)
+        word = layout.set(word, "PR", 3)
+        assert layout.get(word, "PR") == 3
+        assert layout.get(word, "PPN") == 9
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitLayout("bad", 8, [
+                BitField("a", 0, 4), BitField("b", 3, 2),
+            ])
+
+    def test_field_exceeding_word_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitLayout("bad", 8, [BitField("a", 6, 4)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitLayout("bad", 8, [
+                BitField("a", 0, 2), BitField("a", 4, 2),
+            ])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitLayout("bad", 8, [BitField("a", 0, 0)])
+
+    def test_contains_and_getitem(self):
+        layout = make_layout()
+        assert "PR" in layout
+        assert "zz" not in layout
+        assert layout["PPN"].width == 8
+
+    def test_field_names_in_declaration_order(self):
+        assert make_layout().field_names == ["V", "PR", "PPN"]
+
+    def test_render_mentions_every_field_and_width(self):
+        text = make_layout().render()
+        for name in ("V[1]", "PR[2]", "PPN[8]"):
+            assert name in text
+
+    def test_render_marks_reserved_holes(self):
+        # Bits 3..7 of the test layout are unused.
+        assert "reserved[5]" in make_layout().render()

@@ -1,0 +1,40 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    AddressError,
+    ConfigurationError,
+    ProtectionFault,
+    ReproError,
+    TraceFormatError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (
+        ConfigurationError,
+        AddressError,
+        ProtectionFault,
+        TraceFormatError,
+    ):
+        assert issubclass(error_type, ReproError)
+
+
+def test_repro_error_derives_from_exception_only():
+    # Callers must be able to catch ReproError without catching
+    # KeyboardInterrupt and friends.
+    assert issubclass(ReproError, Exception)
+    assert not issubclass(KeyboardInterrupt, ReproError)
+    assert not issubclass(SystemExit, ReproError)
+
+
+def test_protection_fault_carries_address():
+    fault = ProtectionFault(0xDEAD)
+    assert fault.vaddr == 0xDEAD
+    assert "0xdead" in str(fault)
+
+
+def test_protection_fault_custom_message():
+    fault = ProtectionFault(0x10, "write to read-only region")
+    assert "write to read-only region" in str(fault)

@@ -1,0 +1,108 @@
+"""Unit tests for the deterministic RNG and its substreams."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.random() for _ in range(20)] == [
+            b.random() for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(8)] != [
+            b.random() for _ in range(8)
+        ]
+
+    def test_state_round_trip(self):
+        rng = DeterministicRng(3)
+        rng.random()
+        state = rng.getstate()
+        first = [rng.random() for _ in range(5)]
+        rng.setstate(state)
+        assert [rng.random() for _ in range(5)] == first
+
+
+class TestSubstreams:
+    def test_substreams_are_independent_of_parent_draws(self):
+        a = DeterministicRng(11)
+        sub_before = a.substream("work").random()
+        b = DeterministicRng(11)
+        b.random()  # extra parent draw must not perturb the substream
+        sub_after = b.substream("work").random()
+        assert sub_before == sub_after
+
+    def test_named_substreams_differ(self):
+        rng = DeterministicRng(5)
+        assert (
+            rng.substream("alpha").random()
+            != rng.substream("beta").random()
+        )
+
+    def test_substream_reproducible_across_instances(self):
+        x = DeterministicRng(9).substream("trace").randint(0, 10**9)
+        y = DeterministicRng(9).substream("trace").randint(0, 10**9)
+        assert x == y
+
+
+class TestDraws:
+    def test_randint_bounds_inclusive(self):
+        rng = DeterministicRng(0)
+        draws = {rng.randint(2, 4) for _ in range(200)}
+        assert draws == {2, 3, 4}
+
+    def test_randrange_bounds(self):
+        rng = DeterministicRng(0)
+        assert all(0 <= rng.randrange(5) < 5 for _ in range(100))
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(1)
+        population = list(range(10))
+        assert rng.choice(population) in population
+        sample = rng.sample(population, 4)
+        assert len(set(sample)) == 4
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(2)
+        items = list(range(12))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_geometric_p_one_is_zero(self):
+        assert DeterministicRng(0).geometric(1.0) == 0
+
+    def test_geometric_rejects_bad_p(self):
+        rng = DeterministicRng(0)
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_geometric_mean_close_to_theory(self):
+        rng = DeterministicRng(42)
+        p = 0.4
+        n = 4000
+        mean = sum(rng.geometric(p) for _ in range(n)) / n
+        assert abs(mean - (1 - p) / p) < 0.1
+
+    def test_zipf_index_in_range(self):
+        rng = DeterministicRng(3)
+        assert all(0 <= rng.zipf_index(17, 1.0) < 17
+                   for _ in range(300))
+
+    def test_zipf_skew_prefers_low_indices(self):
+        rng = DeterministicRng(4)
+        skewed = sum(rng.zipf_index(100, 2.0) for _ in range(2000))
+        uniform = sum(rng.zipf_index(100, 0.0) for _ in range(2000))
+        assert skewed < uniform * 0.6
+
+    def test_zipf_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(0).zipf_index(0)

@@ -1,0 +1,54 @@
+"""Unit tests for core value types."""
+
+from repro.common.types import Access, AccessKind, PageKind, Protection
+
+
+class TestAccessKind:
+    def test_integer_values_are_stable(self):
+        # Workload generators emit these as bare ints; the mapping is
+        # part of the trace-file format and must never change.
+        assert int(AccessKind.IFETCH) == 0
+        assert int(AccessKind.READ) == 1
+        assert int(AccessKind.WRITE) == 2
+
+    def test_is_write(self):
+        assert AccessKind.WRITE.is_write
+        assert not AccessKind.READ.is_write
+        assert not AccessKind.IFETCH.is_write
+
+
+class TestProtection:
+    def test_two_bit_encoding(self):
+        # Figure 3.2 allots two bits to protection.
+        assert all(0 <= int(level) < 4 for level in Protection)
+
+    def test_none_allows_nothing(self):
+        for kind in AccessKind:
+            assert not Protection.NONE.allows(kind)
+
+    def test_read_only_blocks_writes(self):
+        assert Protection.READ_ONLY.allows(AccessKind.READ)
+        assert Protection.READ_ONLY.allows(AccessKind.IFETCH)
+        assert not Protection.READ_ONLY.allows(AccessKind.WRITE)
+
+    def test_read_write_allows_all(self):
+        for kind in AccessKind:
+            assert Protection.READ_WRITE.allows(kind)
+
+
+class TestAccess:
+    def test_is_write_property(self):
+        assert Access(AccessKind.WRITE, 0x100).is_write
+        assert not Access(AccessKind.READ, 0x100).is_write
+
+    def test_tuple_shape(self):
+        kind, vaddr = Access(AccessKind.READ, 0x40)
+        assert kind is AccessKind.READ
+        assert vaddr == 0x40
+
+
+class TestPageKind:
+    def test_all_origins_present(self):
+        assert {k.name for k in PageKind} == {
+            "ZERO_FILL", "FILE", "SWAP",
+        }

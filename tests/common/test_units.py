@@ -1,0 +1,51 @@
+"""Unit tests for size/time unit helpers."""
+
+import pytest
+
+from repro.common.units import (
+    KB,
+    MB,
+    SPUR_CYCLE_TIME_SECONDS,
+    cycles_to_seconds,
+    is_power_of_two,
+    log2_exact,
+    seconds_to_cycles,
+)
+
+
+class TestConstants:
+    def test_sizes(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+
+    def test_prototype_cycle_time(self):
+        # Table 2.1: 150 ns processor cycle.
+        assert SPUR_CYCLE_TIME_SECONDS == pytest.approx(150e-9)
+
+
+class TestConversions:
+    def test_cycles_to_seconds_default_clock(self):
+        assert cycles_to_seconds(10_000_000) == pytest.approx(1.5)
+
+    def test_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(123456)) == 123456
+
+    def test_custom_cycle_time(self):
+        assert cycles_to_seconds(100, cycle_time=1e-3) == pytest.approx(0.1)
+
+
+class TestPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_non_powers(self):
+        for value in (0, -2, 3, 6, 12, 1000):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(4096) == 12
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(48)

@@ -1,0 +1,87 @@
+"""Integration tests for the multiprocessor configuration.
+
+The paper's measurements are uniprocessor, but SPUR is a
+multiprocessor design and the dirty-bit argument (software PTE updates
+simplify synchronisation) is a multiprocessor argument; the bus and
+coherency protocol must therefore actually work with several caches.
+"""
+
+import pytest
+
+from repro.cache.bus import SnoopyBus
+from repro.cache.coherence import CoherencyState
+from repro.machine.simulator import SpurMachine
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import TINY_PAGE, simple_space, tiny_config
+
+
+def two_machines():
+    """Two processors sharing a bus and (conceptually) memory.
+
+    Each machine has its own VM here; for coherency-path testing only
+    the shared bus and the cache states matter.
+    """
+    space_map, regions = simple_space()
+    bus = SnoopyBus()
+    machines = [
+        SpurMachine(tiny_config(name=f"cpu{i}"), space_map, bus=bus,
+                    name=f"cpu{i}")
+        for i in range(2)
+    ]
+    return machines, regions, bus
+
+
+class TestSharedBlocks:
+    def test_both_read_then_one_writes(self):
+        (a, b), regions, bus = two_machines()
+        addr = regions["heap"].start
+        a.run([(READ, addr)])
+        b.run([(READ, addr)])
+        assert a.cache.probe(addr) >= 0
+        assert b.cache.probe(addr) >= 0
+
+        b.run([(WRITE, addr)])
+        # The write acquired ownership; A's copy is gone.
+        assert a.cache.probe(addr) == -1
+        index = b.cache.probe(addr)
+        assert b.cache.state[index] is CoherencyState.OWNED_EXCLUSIVE
+
+    def test_write_write_migration(self):
+        (a, b), regions, _ = two_machines()
+        addr = regions["heap"].start
+        a.run([(WRITE, addr)])
+        b.run([(WRITE, addr)])
+        assert a.cache.probe(addr) == -1
+        assert b.cache.block_dirty[b.cache.probe(addr)]
+
+    def test_reader_downgrades_writer(self):
+        (a, b), regions, _ = two_machines()
+        addr = regions["heap"].start
+        a.run([(WRITE, addr)])
+        b.run([(READ, addr)])
+        index = a.cache.probe(addr)
+        assert a.cache.state[index] is CoherencyState.OWNED_SHARED
+
+    def test_bus_traffic_recorded(self):
+        (a, b), regions, bus = two_machines()
+        addr = regions["heap"].start
+        a.run([(READ, addr)])
+        b.run([(WRITE, addr)])
+        assert bus.transactions > 0
+        assert bus.snoop_hits > 0
+
+
+class TestIsolation:
+    def test_disjoint_data_does_not_interact(self):
+        (a, b), regions, bus = two_machines()
+        heap = regions["heap"].start
+        far = heap + 8 * TINY_PAGE
+        a.run([(WRITE, heap)])
+        b.run([(WRITE, far)])
+        # Both data blocks stay cached: no data-level interference.
+        # (The *page-table* blocks may legitimately snoop-hit — both
+        # processors walk shared second-level page tables.)
+        assert a.cache.probe(heap) >= 0
+        assert b.cache.probe(far) >= 0
+        assert a.cache.block_dirty[a.cache.probe(heap)]

@@ -1,0 +1,53 @@
+"""Smoke tests at the full paper-scale geometry.
+
+The benches default to the scaled machine; these tests verify the
+128 KB / 4 KB / 5-8 MB prototype configuration actually runs (capped
+reference counts — a full paper-scale run is hours of Python).
+"""
+
+import pytest
+
+from repro.counters.events import Event
+from repro.machine.config import paper_config
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    return ExperimentRunner().run(
+        paper_config(memory_mb=5), SlcWorkload(length_scale=1.0),
+        max_references=150_000,
+    )
+
+
+class TestPaperScale:
+    def test_geometry_is_the_prototype(self):
+        config = paper_config(memory_mb=5)
+        assert config.cache.num_lines == 4096
+        assert config.page_geometry.blocks_per_page == 128
+        assert config.num_frames == 1280
+
+    def test_runs_and_counts(self, paper_run):
+        assert paper_run.references == 150_000
+        assert paper_run.event(Event.DIRTY_FAULT) > 0
+        assert paper_run.event(Event.TRANSLATION) > 0
+
+    def test_zero_fill_cost_is_a_full_page(self, paper_run):
+        # 4 KB page = 1024 word stores at scale 1.
+        assert paper_config().zero_fill_cycles == 1024
+
+    def test_flush_costs_unscaled(self):
+        # flush_cost_scale is 1 at paper scale: per-line flush prices
+        # are the hardware's own.
+        config = paper_config()
+        assert config.flush_cost_scale == 1
+
+    def test_workload1_also_runs(self):
+        result = ExperimentRunner().run(
+            paper_config(memory_mb=8), Workload1(length_scale=1.0),
+            max_references=100_000,
+        )
+        assert result.references == 100_000
+        assert result.zero_fills > 0

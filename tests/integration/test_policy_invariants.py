@@ -1,0 +1,116 @@
+"""Cross-policy integration invariants on realistic workloads.
+
+The paper's comparison is only valid if the policies differ exactly
+where they claim to differ: same necessary faults, same final memory
+image, same paging behaviour for dirty-bit policies (they do not
+change replacement); and for reference policies, identical event
+accounting wherever reference bits are not involved.
+"""
+
+import pytest
+
+from repro.counters.events import Event
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.slc import SlcWorkload
+
+SCALE = 0.015
+DIRTY_POLICIES = ("MIN", "FAULT", "FLUSH", "SPUR", "WRITE")
+
+
+@pytest.fixture(scope="module")
+def dirty_runs():
+    runner = ExperimentRunner()
+    return {
+        policy: runner.run(
+            scaled_config(memory_ratio=48, dirty_policy=policy),
+            SlcWorkload(length_scale=SCALE),
+        )
+        for policy in DIRTY_POLICIES
+    }
+
+
+class TestDirtyPolicyEquivalences:
+    def test_dirty_faults_agree_across_policies(self, dirty_runs):
+        counts = {
+            policy: run.event(Event.DIRTY_FAULT)
+            for policy, run in dirty_runs.items()
+        }
+        reference = counts["MIN"]
+        for policy, count in counts.items():
+            # FLUSH perturbs the cache (flushed blocks re-miss), which
+            # can shift a handful of faults; everyone else must agree
+            # exactly.
+            if policy == "FLUSH":
+                assert abs(count - reference) <= reference * 0.05
+            else:
+                assert count == reference, policy
+
+    def test_excess_equals_dirty_miss_across_runs(self, dirty_runs):
+        assert dirty_runs["FAULT"].event(Event.EXCESS_FAULT) == (
+            dirty_runs["SPUR"].event(Event.DIRTY_BIT_MISS)
+        )
+
+    def test_flush_and_write_take_no_excess_faults(self, dirty_runs):
+        assert dirty_runs["FLUSH"].event(Event.EXCESS_FAULT) == 0
+        assert dirty_runs["WRITE"].event(Event.EXCESS_FAULT) == 0
+
+    def test_write_policy_checks_match_w_hits(self, dirty_runs):
+        run = dirty_runs["WRITE"]
+        # Every first write to a read-filled block costs one check;
+        # necessary faults on write hits also pass through the check.
+        assert run.event(Event.DIRTY_CHECK) >= run.event(
+            Event.WRITE_TO_READ_FILLED_BLOCK
+        )
+
+    def test_page_ins_unaffected_by_dirty_policy(self, dirty_runs):
+        page_ins = {
+            policy: run.page_ins
+            for policy, run in dirty_runs.items()
+        }
+        reference = page_ins["MIN"]
+        for policy, count in page_ins.items():
+            assert abs(count - reference) <= max(5, reference * 0.05), (
+                policy
+            )
+
+    def test_min_is_fastest(self, dirty_runs):
+        cycles = {p: r.cycles for p, r in dirty_runs.items()}
+        assert cycles["MIN"] == min(cycles.values())
+
+    def test_references_identical(self, dirty_runs):
+        lengths = {r.references for r in dirty_runs.values()}
+        assert len(lengths) == 1
+
+
+class TestReferencePolicyEquivalences:
+    @pytest.fixture(scope="class")
+    def reference_runs(self):
+        runner = ExperimentRunner()
+        return {
+            policy: runner.run(
+                scaled_config(memory_ratio=48,
+                              reference_policy=policy),
+                SlcWorkload(length_scale=SCALE),
+            )
+            for policy in ("MISS", "REF", "NOREF")
+        }
+
+    def test_noref_has_zero_reference_overhead(self, reference_runs):
+        run = reference_runs["NOREF"]
+        assert run.event(Event.REFERENCE_FAULT) == 0
+        assert run.event(Event.REFERENCE_CLEAR) == 0
+
+    def test_ref_flushes_at_least_as_much_as_miss(self,
+                                                  reference_runs):
+        assert reference_runs["REF"].event(Event.FLUSH_OPERATION) >= (
+            reference_runs["MISS"].event(Event.FLUSH_OPERATION)
+        )
+
+    def test_zero_fills_identical(self, reference_runs):
+        # Reference policy changes replacement victims, not how pages
+        # come into existence the first time.
+        zero_fills = {
+            r.zero_fills for r in reference_runs.values()
+        }
+        assert len(zero_fills) == 1

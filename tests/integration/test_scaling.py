@@ -1,0 +1,53 @@
+"""Scale-invariance checks for the geometry-scaled configuration.
+
+DESIGN.md's substitution argument rests on the scaled machine
+preserving the page-count ratios; these tests pin that argument and
+check that key measured *ratios* are stable across two different scale
+factors (absolute counts are not expected to match).
+"""
+
+import pytest
+
+from repro.counters.events import Event
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.slc import SlcWorkload
+
+
+class TestGeometryInvariants:
+    @pytest.mark.parametrize("scale", [4, 8, 16])
+    def test_pages_per_cache_fixed(self, scale):
+        config = scaled_config(memory_ratio=48, scale=scale)
+        assert config.cache.size_bytes // config.page_bytes == 32
+
+    @pytest.mark.parametrize("scale", [4, 8, 16])
+    def test_memory_frames_fixed(self, scale):
+        config = scaled_config(memory_ratio=48, scale=scale)
+        assert config.num_frames == 48 * 32
+
+    def test_blocks_per_page_shrink_with_scale(self):
+        small = scaled_config(scale=16)
+        large = scaled_config(scale=4)
+        assert small.page_geometry.blocks_per_page * 4 == (
+            large.page_geometry.blocks_per_page
+        )
+
+
+class TestRatioStability:
+    @pytest.mark.parametrize("ratio", [40, 64])
+    def test_excess_fraction_stable_across_scales(self, ratio):
+        runner = ExperimentRunner()
+        fractions = []
+        for scale in (8, 16):
+            result = runner.run(
+                scaled_config(memory_ratio=ratio, scale=scale),
+                SlcWorkload(length_scale=0.05),
+            )
+            n_ds = result.event(Event.DIRTY_FAULT)
+            n_ef = result.event(Event.DIRTY_BIT_MISS)
+            if n_ds:
+                fractions.append(n_ef / n_ds)
+        assert len(fractions) == 2
+        # Same order of magnitude and both small, as the paper found.
+        assert all(f < 0.5 for f in fractions)
+        assert abs(fractions[0] - fractions[1]) < 0.25

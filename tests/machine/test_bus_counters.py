@@ -1,0 +1,63 @@
+"""Tests for the mode-2 (coherency) counter wiring."""
+
+import pytest
+
+from repro.counters.counters import PerformanceCounters
+from repro.counters.events import Event
+from repro.machine.smp import SmpSystem
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import simple_space, tiny_config
+
+
+def shared_traffic(system, regions):
+    heap = regions["heap"].start
+    cpu0, cpu1 = system.cpus
+    cpu0.run([(READ, heap)])
+    cpu1.run([(READ, heap)])
+    cpu1.run([(WRITE, heap)])   # ownership acquisition
+    cpu0.run([(WRITE, heap)])   # migration with data supply
+
+
+class TestBusCounterWiring:
+    def test_smp_coherency_events_counted(self):
+        space_map, regions = simple_space()
+        system = SmpSystem(tiny_config(), space_map, num_cpus=2)
+        shared_traffic(system, regions)
+        counters = system.counters
+        assert counters.read(Event.BUS_TRANSACTION) == (
+            system.bus.transactions
+        )
+        assert counters.read(Event.SNOOP_HIT) == (
+            system.bus.snoop_hits
+        )
+        assert counters.read(Event.SNOOP_HIT) > 0
+        assert counters.read(Event.OWNERSHIP_TRANSFER) == (
+            system.bus.ownership_transfers
+        )
+
+    def test_mode_2_bank_measures_the_protocol(self):
+        # The hardware methodology: a mode-2 run sees coherency events
+        # and drops everything outside the set.
+        space_map, regions = simple_space()
+        counters = PerformanceCounters(mode=2)
+        system = SmpSystem(tiny_config(), space_map, num_cpus=2,
+                           counters=counters)
+        shared_traffic(system, regions)
+        assert counters.read(Event.BUS_TRANSACTION) > 0
+        assert counters.read(Event.SNOOP_HIT) > 0
+        # Mode 2 does not watch processor writes.
+        assert counters.read(Event.PROCESSOR_WRITE) == 0
+
+    def test_uniprocessor_never_snoop_hits(self):
+        from tests.conftest import make_machine
+
+        space_map, regions = simple_space()
+        machine = make_machine(space_map)
+        machine.run([
+            (WRITE, regions["heap"].start),
+            (READ, regions["heap"].start + 128),
+        ])
+        assert machine.counters.read(Event.BUS_TRANSACTION) > 0
+        assert machine.counters.read(Event.SNOOP_HIT) == 0
+        assert machine.counters.read(Event.INVALIDATION) == 0

@@ -1,0 +1,27 @@
+"""Unit tests for processor-side reference accounting."""
+
+from repro.counters.counters import PerformanceCounters
+from repro.counters.events import Event
+from repro.machine.cpu import ReferenceMix
+
+
+def test_totals():
+    mix = ReferenceMix(ifetches=10, reads=5, writes=2)
+    assert mix.total == 17
+
+
+def test_add():
+    mix = ReferenceMix()
+    mix.add(3, 2, 1)
+    mix.add(1, 1, 1)
+    assert (mix.ifetches, mix.reads, mix.writes) == (4, 3, 2)
+
+
+def test_flush_to_counters():
+    counters = PerformanceCounters()
+    ReferenceMix(ifetches=7, reads=3, writes=2).flush_to_counters(
+        counters
+    )
+    assert counters.read(Event.INSTRUCTION_FETCH) == 7
+    assert counters.read(Event.PROCESSOR_READ) == 3
+    assert counters.read(Event.PROCESSOR_WRITE) == 2

@@ -1,0 +1,73 @@
+"""Tests for the machine-state inspection helpers."""
+
+import pytest
+
+from repro.machine.inspect import (
+    cache_lines,
+    cache_summary,
+    machine_summary,
+    vm_summary,
+)
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import TINY_PAGE, make_machine, simple_space
+
+
+@pytest.fixture
+def busy_machine():
+    space_map, regions = simple_space()
+    machine = make_machine(space_map)
+    heap = regions["heap"].start
+    machine.run([
+        (WRITE, heap), (READ, heap + 32), (READ, heap + TINY_PAGE),
+    ])
+    return machine
+
+
+class TestCacheSummary:
+    def test_counts_lines_and_state(self, busy_machine):
+        text = cache_summary(busy_machine.cache)
+        assert "lines valid" in text
+        assert "block-dirty 1" in text
+        assert "PTE blocks" in text
+        assert "OWNED_EXCLUSIVE" in text
+
+    def test_empty_cache(self):
+        space_map, _ = simple_space()
+        machine = make_machine(space_map)
+        text = cache_summary(machine.cache)
+        assert "0/32 lines valid" in text
+
+
+class TestCacheLines:
+    def test_shows_rows_with_flags(self, busy_machine):
+        text = cache_lines(busy_machine.cache)
+        assert "vaddr" in text
+        assert "READ_" in text  # protection column
+
+    def test_limit_truncates(self, busy_machine):
+        text = cache_lines(busy_machine.cache, limit=1)
+        assert "more" in text
+
+
+class TestVmSummary:
+    def test_residency_and_io(self, busy_machine):
+        text = vm_summary(busy_machine)
+        assert "frames used" in text
+        assert "ClockPageDaemon" in text
+        assert "zero-fills" in text
+
+    def test_segfifo_daemon_named(self):
+        space_map, regions = simple_space()
+        machine = make_machine(space_map, daemon_kind="segfifo",
+                               reference_policy="NOREF")
+        machine.run([(READ, regions["heap"].start)])
+        assert "SegmentedFifoDaemon" in vm_summary(machine)
+
+
+class TestMachineSummary:
+    def test_combines_everything(self, busy_machine):
+        text = machine_summary(busy_machine)
+        assert "3 refs" in text.replace(",", "")
+        assert "mix:" in text
+        assert "memory:" in text

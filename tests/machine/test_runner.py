@@ -1,0 +1,111 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.counters.events import Event
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+from tests.conftest import tiny_config
+
+
+TINY_SCALE = 0.004
+
+
+def quick_config(**overrides):
+    from repro.machine.config import scaled_config
+    return scaled_config(memory_ratio=40, **overrides)
+
+
+class TestRun:
+    def test_result_fields_populated(self):
+        runner = ExperimentRunner()
+        result = runner.run(
+            quick_config(), SlcWorkload(length_scale=TINY_SCALE)
+        )
+        assert result.workload == "SLC"
+        assert result.references > 0
+        assert result.cycles > result.references
+        assert result.dirty_policy == "SPUR"
+        assert result.reference_policy == "MISS"
+        assert result.elapsed_seconds > 0
+        assert result.cycles_per_reference > 1
+
+    def test_events_snapshot_included(self):
+        runner = ExperimentRunner()
+        result = runner.run(
+            quick_config(), SlcWorkload(length_scale=TINY_SCALE)
+        )
+        assert result.event(Event.INSTRUCTION_FETCH) > 0
+        # A uniprocessor still generates bus transactions (fills and
+        # write-backs) but can never snoop-hit.
+        assert result.event(Event.BUS_TRANSACTION) > 0
+        assert result.event(Event.SNOOP_HIT) == 0
+
+    def test_max_references_caps_the_run(self):
+        runner = ExperimentRunner()
+        result = runner.run(
+            quick_config(), Workload1(length_scale=1.0),
+            max_references=5000,
+        )
+        assert result.references == 5000
+
+    def test_same_seed_is_deterministic(self):
+        runner = ExperimentRunner()
+        results = [
+            runner.run(quick_config(),
+                       SlcWorkload(length_scale=TINY_SCALE), seed=3)
+            for _ in range(2)
+        ]
+        assert results[0].cycles == results[1].cycles
+        assert results[0].page_ins == results[1].page_ins
+
+    def test_different_seeds_differ(self):
+        runner = ExperimentRunner()
+        a = runner.run(quick_config(),
+                       SlcWorkload(length_scale=TINY_SCALE), seed=0)
+        b = runner.run(quick_config(),
+                       SlcWorkload(length_scale=TINY_SCALE), seed=1)
+        assert a.cycles != b.cycles
+
+
+class TestRepetitions:
+    def test_distinct_seeds_used(self):
+        runner = ExperimentRunner()
+        results = runner.run_repetitions(
+            quick_config(), SlcWorkload(length_scale=TINY_SCALE),
+            repetitions=3,
+        )
+        assert [r.seed for r in results] == [0, 1, 2]
+
+
+class TestMatrix:
+    def test_randomised_matrix_returns_seed_order(self):
+        runner = ExperimentRunner(master_seed=7)
+        points = [
+            ("a", quick_config(), SlcWorkload(length_scale=TINY_SCALE)),
+            ("b", quick_config(reference_policy="NOREF"),
+             SlcWorkload(length_scale=TINY_SCALE)),
+        ]
+        results = runner.run_matrix(points, repetitions=2)
+        assert set(results) == {"a", "b"}
+        for label in ("a", "b"):
+            assert [r.seed for r in results[label]] == [0, 1]
+
+    def test_randomisation_does_not_change_results(self):
+        def build_points():
+            return [
+                ("a", quick_config(),
+                 SlcWorkload(length_scale=TINY_SCALE)),
+            ]
+        ordered = ExperimentRunner().run_matrix(
+            build_points(), repetitions=2, randomize=False
+        )
+        shuffled = ExperimentRunner(master_seed=123).run_matrix(
+            build_points(), repetitions=2, randomize=True
+        )
+        for rep in range(2):
+            assert (
+                ordered["a"][rep].cycles == shuffled["a"][rep].cycles
+            )

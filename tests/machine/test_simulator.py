@@ -1,0 +1,129 @@
+"""Unit tests for the whole-machine simulator's reference handling."""
+
+import pytest
+
+from repro.counters.events import Event
+from repro.workloads.base import IFETCH, READ, WRITE
+
+from tests.conftest import TINY_PAGE, make_machine, simple_space
+
+
+@pytest.fixture
+def rig():
+    space_map, regions = simple_space()
+    machine = make_machine(space_map)
+    return machine, regions
+
+
+class TestHitsAndMisses:
+    def test_hit_costs_one_cycle(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        machine.run([(READ, heap)])
+        before = machine.cycles
+        machine.run([(READ, heap), (READ, heap + 4), (IFETCH, heap)])
+        assert machine.cycles - before == 3
+
+    def test_miss_counted_by_kind(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        code = regions["code"].start
+        machine.run([
+            (IFETCH, code), (READ, heap), (WRITE, heap + TINY_PAGE),
+        ])
+        assert machine.counters.read(Event.IFETCH_MISS) == 1
+        assert machine.counters.read(Event.READ_MISS) == 1
+        assert machine.counters.read(Event.WRITE_MISS) == 1
+
+    def test_reference_mix_counted(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        code = regions["code"].start
+        machine.run([(IFETCH, code)] * 3 + [(READ, heap)] * 2
+                    + [(WRITE, heap)])
+        assert machine.reference_mix.ifetches == 3
+        assert machine.reference_mix.reads == 2
+        assert machine.reference_mix.writes == 1
+        assert machine.counters.read(Event.INSTRUCTION_FETCH) == 3
+        assert machine.counters.read(Event.PROCESSOR_WRITE) == 1
+
+    def test_miss_fills_block(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        machine.run([(READ, heap)])
+        assert machine.cache.probe(heap) >= 0
+        assert machine.counters.read(Event.BLOCK_FILL) >= 1
+
+    def test_translation_happens_on_miss_only(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        machine.run([(READ, heap), (READ, heap + 4)])
+        assert machine.counters.read(Event.TRANSLATION) == 1
+
+    def test_w_hit_and_w_miss_events(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        machine.run([
+            (WRITE, heap),          # write miss fill
+            (READ, heap + 32),      # read fill
+            (WRITE, heap + 32),     # write to read-filled block
+            (WRITE, heap + 32),     # repeat: not counted again
+        ])
+        assert machine.counters.read(Event.WRITE_MISS_FILL) == 1
+        assert machine.counters.read(
+            Event.WRITE_TO_READ_FILLED_BLOCK
+        ) == 1
+
+
+class TestCycleAccounting:
+    def test_elapsed_seconds_uses_prototype_clock(self, rig):
+        machine, regions = rig
+        machine.run([(READ, regions["heap"].start)])
+        assert machine.elapsed_seconds == pytest.approx(
+            machine.cycles * 150e-9
+        )
+
+    def test_cycles_accumulate_across_runs(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        machine.run([(READ, heap)])
+        first = machine.cycles
+        machine.run([(READ, heap)])
+        assert machine.cycles == first + 1
+
+    def test_references_accumulate(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        machine.run([(READ, heap)] * 5)
+        machine.run([(READ, heap)] * 3)
+        assert machine.references == 8
+
+
+class TestDeterminism:
+    def test_identical_traces_identical_results(self):
+        results = []
+        for _ in range(2):
+            space_map, regions = simple_space()
+            machine = make_machine(space_map)
+            heap = regions["heap"].start
+            trace = [
+                (WRITE if i % 3 == 0 else READ,
+                 heap + (i * 52) % (8 * TINY_PAGE))
+                for i in range(2000)
+            ]
+            machine.run(trace)
+            results.append(
+                (machine.cycles, machine.counters.snapshot().as_dict())
+            )
+        assert results[0] == results[1]
+
+
+class TestSnapshotDelta:
+    def test_interval_measurement(self, rig):
+        machine, regions = rig
+        heap = regions["heap"].start
+        machine.run([(WRITE, heap)])
+        before = machine.snapshot()
+        machine.run([(WRITE, heap + TINY_PAGE)])
+        delta = machine.snapshot() - before
+        assert delta[Event.DIRTY_FAULT] == 1

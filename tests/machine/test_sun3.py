@@ -1,0 +1,45 @@
+"""Tests for the Sun-3-flavoured comparator configuration."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.counters.events import Event
+from repro.machine.config import sun3_like_config
+from repro.machine.runner import ExperimentRunner
+from repro.workloads.slc import SlcWorkload
+
+
+class TestPreset:
+    def test_geometry(self):
+        config = sun3_like_config(memory_mb=8, scale=8)
+        # 8 KB pages and a 64 KB cache, scaled by 8.
+        assert config.page_bytes == 1024
+        assert config.cache.size_bytes == 8 * 1024
+        # Twice SPUR's page size at the same scale.
+        from repro.machine.config import scaled_config
+        assert config.page_bytes == 2 * scaled_config(
+            scale=8
+        ).page_bytes
+
+    def test_uses_the_write_policy(self):
+        assert sun3_like_config().dirty_policy == "WRITE"
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            sun3_like_config(scale=0)
+
+    def test_overrides(self):
+        config = sun3_like_config(dirty_policy="FAULT")
+        assert config.dirty_policy == "FAULT"
+
+
+class TestBehaviour:
+    def test_runs_a_workload_with_dirty_checks(self):
+        result = ExperimentRunner().run(
+            sun3_like_config(memory_mb=8),
+            SlcWorkload(length_scale=0.01),
+        )
+        # The Sun-3 mechanism is exercised: PTE checks on first
+        # writes to read-filled blocks, and never an excess fault.
+        assert result.event(Event.DIRTY_CHECK) > 0
+        assert result.event(Event.EXCESS_FAULT) == 0

@@ -1,0 +1,131 @@
+"""Unit tests for the Section 3.2 analytic cost models."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.policies.costs import (
+    DIRTY_POLICY_NAMES,
+    EventCounts,
+    TimeParameters,
+    overhead,
+    overhead_table,
+)
+
+COUNTS = EventCounts(
+    n_ds=1000, n_zfod=400, n_ef=100, n_w_hit=5000, n_w_miss=20000
+)
+TIMES = TimeParameters()
+
+
+class TestModels:
+    def test_min(self):
+        assert overhead("MIN", COUNTS, TIMES) == 600 * 1000
+
+    def test_fault(self):
+        assert overhead("FAULT", COUNTS, TIMES) == (600 + 100) * 1000
+
+    def test_flush(self):
+        assert overhead("FLUSH", COUNTS, TIMES) == 600 * (1000 + 500)
+
+    def test_spur(self):
+        assert overhead("SPUR", COUNTS, TIMES) == (
+            600 * 1025 + 100 * 25
+        )
+
+    def test_write(self):
+        assert overhead("WRITE", COUNTS, TIMES) == (
+            600 * 1000 + 5000 * 5
+        )
+
+    def test_zero_fill_inclusion(self):
+        included = overhead("MIN", COUNTS, TIMES,
+                            exclude_zero_fill=False)
+        assert included == 1000 * 1000
+
+    def test_case_insensitive(self):
+        assert overhead("min", COUNTS) == overhead("MIN", COUNTS)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            overhead("LRU", COUNTS)
+
+    def test_default_times_are_table_3_2(self):
+        assert overhead("FLUSH", COUNTS) == overhead(
+            "FLUSH", COUNTS, TimeParameters(1000, 500, 25, 5)
+        )
+
+
+class TestOrderings:
+    def test_min_is_lower_bound(self):
+        table = overhead_table(COUNTS, TIMES)
+        floor = table["MIN"][0]
+        assert all(cycles >= floor for cycles, _ in table.values())
+
+    def test_paper_ordering_with_paper_like_counts(self):
+        # With w-hit counts hundreds of times the fault counts (the
+        # paper's regime), the ordering is MIN < SPUR < FAULT < FLUSH
+        # << WRITE.
+        counts = EventCounts(n_ds=10_000, n_zfod=5_000, n_ef=1_500,
+                             n_w_hit=6_000_000, n_w_miss=34_000_000)
+        table = overhead_table(counts)
+        assert (
+            table["MIN"][0] < table["SPUR"][0] < table["FAULT"][0]
+            < table["FLUSH"][0] < table["WRITE"][0]
+        )
+
+    def test_write_stays_worst_even_at_one_cycle_check(self):
+        # Section 3.2: "Even if the time to check the PTE dirty bit is
+        # reduced to only 1 cycle, this alternative still has the
+        # worst performance."
+        counts = EventCounts(n_ds=10_000, n_zfod=5_000, n_ef=1_500,
+                             n_w_hit=6_000_000, n_w_miss=34_000_000)
+        cheap = TimeParameters(t_dc=1)
+        table = overhead_table(counts, cheap)
+        worst = max(cycles for cycles, _ in table.values())
+        assert table["WRITE"][0] == worst
+
+    def test_fault_beats_flush_when_excess_faults_are_rare(self):
+        # FAULT is superior to FLUSH iff necessary faults are at least
+        # twice the excess faults (t_flush = t_ds / 2).
+        rare = EventCounts(n_ds=1000, n_zfod=0, n_ef=100,
+                           n_w_hit=1, n_w_miss=1)
+        common = EventCounts(n_ds=1000, n_zfod=0, n_ef=900,
+                             n_w_hit=1, n_w_miss=1)
+        assert overhead("FAULT", rare) < overhead("FLUSH", rare)
+        assert overhead("FAULT", common) > overhead("FLUSH", common)
+
+    def test_ratios_relative_to_min(self):
+        table = overhead_table(COUNTS, TIMES)
+        assert table["MIN"][1] == pytest.approx(1.0)
+        assert table["FLUSH"][1] == pytest.approx(1.5)
+
+
+class TestEventCounts:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventCounts(n_ds=1, n_zfod=2, n_ef=0, n_w_hit=0,
+                        n_w_miss=0)
+        with pytest.raises(ConfigurationError):
+            EventCounts(n_ds=-1, n_zfod=0, n_ef=0, n_w_hit=0,
+                        n_w_miss=0)
+
+    def test_derived_fractions(self):
+        assert COUNTS.excess_fault_fraction == pytest.approx(0.1)
+        assert COUNTS.excess_fault_fraction_excluding_zfod == (
+            pytest.approx(100 / 600)
+        )
+        assert COUNTS.read_before_write_fraction == pytest.approx(0.2)
+
+    def test_n_dm_equals_n_ef(self):
+        # The paper's identity: the same events, renamed per policy.
+        assert COUNTS.n_dm == COUNTS.n_ef
+
+    def test_zero_denominators(self):
+        empty = EventCounts(0, 0, 0, 0, 0)
+        assert empty.excess_fault_fraction == 0.0
+        assert empty.read_before_write_fraction == 0.0
+
+    def test_policy_name_tuple(self):
+        assert DIRTY_POLICY_NAMES == (
+            "MIN", "FAULT", "FLUSH", "SPUR", "WRITE"
+        )

@@ -1,0 +1,142 @@
+"""The Figure 3.1 scenario and cross-policy semantic invariants.
+
+Figure 3.1: two blocks of Page A are brought into the cache while the
+page's protection is read-only (the FAULT emulation's initial state).
+The first write faults and promotes the PTE to read-write — but the
+second block's *cached* protection copy is stale, so writing it faults
+again even though the page is already writable.  These tests pin that
+exact mechanism and the equivalences the paper builds its comparison
+on.
+"""
+
+import pytest
+
+from repro.common.types import Protection
+from repro.counters.events import Event
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import make_machine, simple_space
+
+ALL_POLICIES = ("FAULT", "FLUSH", "SPUR", "WRITE", "MIN")
+
+
+def policy_machine(policy):
+    space_map, regions = simple_space()
+    machine = make_machine(space_map, dirty_policy=policy)
+    return machine, regions["heap"].start
+
+
+class TestFigure31:
+    def test_stale_protection_visible_in_cache_tags(self):
+        machine, heap = policy_machine("FAULT")
+        machine.run([(READ, heap), (READ, heap + 32)])
+        first = machine.cache.probe(heap)
+        second = machine.cache.probe(heap + 32)
+        assert machine.cache.prot[first] == int(Protection.READ_ONLY)
+        assert machine.cache.prot[second] == int(Protection.READ_ONLY)
+
+        machine.run([(WRITE, heap)])  # promote the page
+        pte = machine.page_table.entry(heap >> machine.page_bits)
+        assert pte.protection is Protection.READ_WRITE
+        # The second block's cached copy is now stale (Figure 3.1).
+        assert machine.cache.prot[second] == int(Protection.READ_ONLY)
+
+    def test_stale_copy_causes_excess_fault_on_write(self):
+        machine, heap = policy_machine("FAULT")
+        machine.run([
+            (READ, heap), (READ, heap + 32), (WRITE, heap),
+        ])
+        before = machine.cycles
+        machine.run([(WRITE, heap + 32)])
+        assert machine.counters.read(Event.EXCESS_FAULT) == 1
+        # The excess fault costs a full fault, not a dirty-bit miss.
+        assert machine.cycles - before >= (
+            machine.fault_timing.dirty_fault
+        )
+
+    def test_excess_fault_repairs_the_stale_copy(self):
+        machine, heap = policy_machine("FAULT")
+        machine.run([
+            (READ, heap), (READ, heap + 32),
+            (WRITE, heap), (WRITE, heap + 32),
+        ])
+        before = machine.cycles
+        machine.run([(WRITE, heap + 32)])
+        assert machine.cycles - before == 1  # settled fast path
+        assert machine.counters.read(Event.EXCESS_FAULT) == 1
+
+    def test_one_excess_event_per_stale_block(self):
+        machine, heap = policy_machine("FAULT")
+        machine.run([
+            (READ, heap), (READ, heap + 32), (READ, heap + 64),
+            (WRITE, heap),
+            (WRITE, heap + 32), (WRITE, heap + 64),
+        ])
+        assert machine.counters.read(Event.EXCESS_FAULT) == 2
+
+
+class TestCrossPolicyEquivalences:
+    def drive(self, policy, accesses):
+        machine, heap = policy_machine(policy)
+        machine.run([
+            (kind, heap + offset) for kind, offset in accesses
+        ])
+        return machine
+
+    SCENARIO = [
+        (READ, 0), (READ, 32), (READ, 96),
+        (WRITE, 0), (WRITE, 32),
+        (READ, 64), (WRITE, 64),
+        (WRITE, 96),
+    ]
+
+    def test_excess_faults_equal_dirty_bit_misses(self):
+        # N_ef = N_dm: the same events, classified per policy.
+        fault = self.drive("FAULT", self.SCENARIO)
+        spur = self.drive("SPUR", self.SCENARIO)
+        assert fault.counters.read(Event.EXCESS_FAULT) == (
+            spur.counters.read(Event.DIRTY_BIT_MISS)
+        )
+
+    def test_necessary_faults_identical_across_policies(self):
+        counts = {
+            policy: self.drive(policy, self.SCENARIO).counters.read(
+                Event.DIRTY_FAULT
+            )
+            for policy in ALL_POLICIES
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_final_dirty_state_identical_across_policies(self):
+        for policy in ALL_POLICIES:
+            machine, heap = policy_machine(policy)
+            machine.run([
+                (kind, heap + offset) for kind, offset in self.SCENARIO
+            ])
+            vpn = heap >> machine.page_bits
+            assert machine.page_table.entry(vpn).is_modified(), policy
+
+    def test_cycle_ordering_min_spur_fault(self):
+        # MIN <= SPUR <= FAULT always: SPUR turns FAULT's excess
+        # faults into 25-cycle misses, MIN gets them for free.
+        cycles = {
+            policy: self.drive(policy, self.SCENARIO).cycles
+            for policy in ALL_POLICIES
+        }
+        assert cycles["MIN"] <= cycles["SPUR"]
+        assert cycles["SPUR"] <= cycles["FAULT"]
+
+    def test_fault_vs_flush_crossover(self):
+        # Section 3.2: FAULT beats FLUSH iff excess faults are rare
+        # relative to necessary faults.  SCENARIO is excess-heavy
+        # (2 excess per necessary fault), so FLUSH wins it; a pure
+        # write-first scenario (no excess) reverses the order.
+        assert (
+            self.drive("FLUSH", self.SCENARIO).cycles
+            < self.drive("FAULT", self.SCENARIO).cycles
+        )
+        write_first = [(WRITE, 0), (WRITE, 32), (WRITE, 64)]
+        assert (
+            self.drive("FAULT", write_first).cycles
+            <= self.drive("FLUSH", write_first).cycles
+        )

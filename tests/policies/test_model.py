@@ -1,0 +1,64 @@
+"""Unit tests for the geometric excess-fault model (footnote 3)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRng
+from repro.policies.model import ExcessFaultModel
+
+
+class TestConstruction:
+    def test_from_counts(self):
+        model = ExcessFaultModel.from_counts(n_w_hit=2000,
+                                             n_w_miss=8000)
+        assert model.p_w == pytest.approx(0.8)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            ExcessFaultModel(0.0)
+        with pytest.raises(ConfigurationError):
+            ExcessFaultModel(1.5)
+
+    def test_from_counts_rejects_zero_misses(self):
+        with pytest.raises(ConfigurationError):
+            ExcessFaultModel.from_counts(5, 0)
+
+
+class TestPredictions:
+    def test_expected_excess_geometric_mean(self):
+        model = ExcessFaultModel(0.8)
+        assert model.expected_excess_per_fault == pytest.approx(0.25)
+
+    def test_paper_prediction_under_20_percent(self):
+        # "Based on this ratio [~one fifth read-before-write], a
+        # simple probability model predicts less than 20% as many
+        # excess faults as modified faults" — one fifth w-hit means
+        # p_w ~ 0.84 at the SLC measurement, prediction < 0.20.
+        model = ExcessFaultModel.from_counts(612, 3680)
+        assert model.predicted_excess_fraction() < 0.20
+
+    def test_probability_at_least(self):
+        model = ExcessFaultModel(0.75)
+        assert model.probability_at_least(0) == 1.0
+        assert model.probability_at_least(1) == pytest.approx(0.25)
+        assert model.probability_at_least(2) == pytest.approx(0.0625)
+
+    def test_certain_write_miss_means_no_excess(self):
+        model = ExcessFaultModel(1.0)
+        assert model.expected_excess_per_fault == 0.0
+        assert model.probability_at_least(1) == 0.0
+
+
+class TestMonteCarlo:
+    def test_simulation_matches_analytic_mean(self):
+        model = ExcessFaultModel(0.7)
+        rng = DeterministicRng(99)
+        pages = 5000
+        total = model.simulate(rng, pages)
+        expected = pages * model.expected_excess_per_fault
+        assert abs(total - expected) / expected < 0.1
+
+    def test_simulation_of_zero_pages(self):
+        assert ExcessFaultModel(0.5).simulate(
+            DeterministicRng(0), 0
+        ) == 0

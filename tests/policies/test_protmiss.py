@@ -1,0 +1,107 @@
+"""Tests for the PROTMISS (generalized SPUR) dirty-bit policy.
+
+Section 3.1: "the same idea could be applied directly to the
+protection ... Since the performance of this scheme is identical to
+what we implemented in SPUR, we will not discuss it separately."  The
+equivalence tests below make that claim checkable.
+"""
+
+import pytest
+
+from repro.common.types import Protection
+from repro.counters.events import Event
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.policies.dirty import make_dirty_policy
+from repro.workloads.base import READ, WRITE
+from repro.workloads.slc import SlcWorkload
+
+from tests.conftest import make_machine, simple_space
+
+
+def policy_machine(policy):
+    space_map, regions = simple_space()
+    machine = make_machine(space_map, dirty_policy=policy)
+    return machine, regions["heap"].start
+
+
+class TestMechanism:
+    def test_constructible_by_name(self):
+        assert make_dirty_policy("PROTMISS").name == "PROTMISS"
+
+    def test_maps_writable_pages_read_only(self):
+        machine, heap = policy_machine("PROTMISS")
+        machine.run([(READ, heap)])
+        pte = machine.page_table.entry(heap >> machine.page_bits)
+        assert pte.protection is Protection.READ_ONLY
+
+    def test_first_write_faults_and_promotes(self):
+        machine, heap = policy_machine("PROTMISS")
+        machine.run([(WRITE, heap)])
+        pte = machine.page_table.entry(heap >> machine.page_bits)
+        assert pte.software_dirty
+        assert not pte.dirty  # no explicit hardware dirty bit
+        assert pte.protection is Protection.READ_WRITE
+        assert machine.counters.read(Event.DIRTY_FAULT) == 1
+
+    def test_stale_copy_costs_a_miss_not_a_fault(self):
+        machine, heap = policy_machine("PROTMISS")
+        machine.run([(READ, heap), (READ, heap + 32), (WRITE, heap)])
+        before = machine.cycles
+        machine.run([(WRITE, heap + 32)])
+        assert machine.counters.read(Event.DIRTY_BIT_MISS) == 1
+        assert machine.counters.read(Event.EXCESS_FAULT) == 0
+        assert machine.cycles - before == (
+            1 + machine.fault_timing.dirty_bit_miss
+        )
+
+    def test_refresh_repairs_the_cached_protection(self):
+        machine, heap = policy_machine("PROTMISS")
+        machine.run([(READ, heap), (READ, heap + 32), (WRITE, heap),
+                     (WRITE, heap + 32)])
+        index = machine.cache.probe(heap + 32)
+        assert machine.cache.prot[index] == int(
+            Protection.READ_WRITE
+        )
+
+
+class TestEquivalenceWithSpur:
+    SCENARIO = [
+        (READ, 0), (READ, 32), (READ, 96),
+        (WRITE, 0), (WRITE, 32),
+        (READ, 64), (WRITE, 64),
+        (WRITE, 96),
+    ]
+
+    def drive(self, policy):
+        machine, heap = policy_machine(policy)
+        machine.run([(k, heap + o) for k, o in self.SCENARIO])
+        return machine
+
+    def test_identical_cycles_on_the_figure_31_scenario(self):
+        spur = self.drive("SPUR")
+        protmiss = self.drive("PROTMISS")
+        assert spur.cycles == protmiss.cycles
+
+    def test_identical_event_counts(self):
+        spur = self.drive("SPUR")
+        protmiss = self.drive("PROTMISS")
+        for event in (Event.DIRTY_FAULT, Event.DIRTY_BIT_MISS,
+                      Event.WRITE_MISS_FILL):
+            assert spur.counters.read(event) == (
+                protmiss.counters.read(event)
+            ), event
+
+    def test_identical_cycles_on_a_real_workload(self):
+        runner = ExperimentRunner()
+        results = {
+            policy: runner.run(
+                scaled_config(memory_ratio=48, dirty_policy=policy),
+                SlcWorkload(length_scale=0.01),
+            )
+            for policy in ("SPUR", "PROTMISS")
+        }
+        assert results["SPUR"].cycles == results["PROTMISS"].cycles
+        assert results["SPUR"].page_ins == (
+            results["PROTMISS"].page_ins
+        )

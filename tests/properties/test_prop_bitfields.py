@@ -1,0 +1,69 @@
+"""Property tests: bit-field packing round-trips and isolation."""
+
+from hypothesis import given, strategies as st
+
+from repro.cache.block import CACHE_TAG_LAYOUT
+from repro.common.bitfields import BitField, BitLayout
+from repro.translation.pte import PTE_LAYOUT
+
+
+def layout_values(layout):
+    """Strategy producing a full assignment for a layout's fields."""
+    return st.fixed_dictionaries({
+        field.name: st.integers(0, field.max_value)
+        for field in layout.fields
+    })
+
+
+@given(layout_values(PTE_LAYOUT))
+def test_pte_layout_round_trip(values):
+    word = PTE_LAYOUT.pack(**values)
+    assert PTE_LAYOUT.unpack(word) == values
+
+
+@given(layout_values(CACHE_TAG_LAYOUT))
+def test_cache_tag_layout_round_trip(values):
+    word = CACHE_TAG_LAYOUT.pack(**values)
+    assert CACHE_TAG_LAYOUT.unpack(word) == values
+
+
+@given(
+    layout_values(PTE_LAYOUT),
+    st.sampled_from(PTE_LAYOUT.field_names),
+    st.integers(0, 2**32 - 1),
+)
+def test_set_modifies_only_target_field(values, field_name, raw):
+    word = PTE_LAYOUT.pack(**values)
+    new_value = raw % (PTE_LAYOUT[field_name].max_value + 1)
+    updated = PTE_LAYOUT.set(word, field_name, new_value)
+    unpacked = PTE_LAYOUT.unpack(updated)
+    assert unpacked[field_name] == new_value
+    for other, value in values.items():
+        if other != field_name:
+            assert unpacked[other] == value
+
+
+@given(st.data())
+def test_random_nonoverlapping_layouts_round_trip(data):
+    # Build a random valid layout, then verify pack/unpack agree.
+    width = data.draw(st.integers(8, 64))
+    fields = []
+    position = 0
+    index = 0
+    while position < width:
+        gap = data.draw(st.integers(0, 2))
+        field_width = data.draw(st.integers(1, 6))
+        lsb = position + gap
+        if lsb + field_width > width:
+            break
+        fields.append(BitField(f"f{index}", lsb, field_width))
+        position = lsb + field_width
+        index += 1
+    if not fields:
+        return
+    layout = BitLayout("random", width, fields)
+    values = {
+        field.name: data.draw(st.integers(0, field.max_value))
+        for field in fields
+    }
+    assert layout.unpack(layout.pack(**values)) == values

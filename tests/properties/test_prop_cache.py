@@ -1,0 +1,118 @@
+"""Property tests: cache consistency under arbitrary operation mixes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import VirtualCache
+from repro.cache.coherence import CoherencyState
+from repro.cache.flush import TagCheckedFlush, TaglessFlush
+from repro.common.params import CacheGeometry, MemoryTiming
+from repro.common.types import Protection
+
+PAGE = 128
+NUM_PAGES = 16
+
+
+def make_cache():
+    return VirtualCache(
+        CacheGeometry(size_bytes=1024, block_bytes=32), MemoryTiming()
+    )
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["fill_read", "fill_write", "invalidate",
+                         "flush_checked", "flush_tagless"]),
+        st.integers(0, NUM_PAGES * PAGE - 1),
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(cache, ops):
+    for op, vaddr in ops:
+        if op == "fill_read":
+            cache.fill(vaddr, Protection.READ_WRITE, False, False)
+        elif op == "fill_write":
+            cache.fill(vaddr, Protection.READ_WRITE, True, True)
+        elif op == "invalidate":
+            index = cache.probe(vaddr)
+            if index >= 0:
+                cache.invalidate(index)
+        elif op == "flush_checked":
+            TagCheckedFlush().flush_page(
+                cache, vaddr & ~(PAGE - 1), PAGE
+            )
+        elif op == "flush_tagless":
+            TaglessFlush().flush_page(
+                cache, vaddr & ~(PAGE - 1), PAGE
+            )
+
+
+@given(operations)
+def test_valid_lines_sit_in_their_direct_mapped_frame(ops):
+    cache = make_cache()
+    apply_ops(cache, ops)
+    for index in cache.resident_lines():
+        assert cache.line_index(cache.line_vaddr[index]) == index
+        assert cache.tags[index] == cache.tag_of(
+            cache.line_vaddr[index]
+        )
+
+
+@given(operations)
+def test_invalid_lines_are_fully_quiescent(ops):
+    cache = make_cache()
+    apply_ops(cache, ops)
+    for index in range(cache.num_lines):
+        if not cache.valid[index]:
+            assert cache.state[index] is CoherencyState.INVALID
+            assert not cache.block_dirty[index]
+
+
+@given(operations)
+def test_dirty_blocks_are_owned(ops):
+    cache = make_cache()
+    apply_ops(cache, ops)
+    for index in cache.resident_lines():
+        if cache.block_dirty[index]:
+            assert cache.state[index].is_owned
+
+
+@given(operations)
+def test_probe_agrees_with_line_state(ops):
+    cache = make_cache()
+    apply_ops(cache, ops)
+    for index in range(cache.num_lines):
+        vaddr = cache.line_vaddr[index]
+        if cache.valid[index]:
+            assert cache.probe(vaddr) == index
+
+
+@given(operations, st.integers(0, NUM_PAGES - 1))
+def test_flush_page_removes_exactly_that_page(ops, page_number):
+    cache = make_cache()
+    apply_ops(cache, ops)
+    page_vaddr = page_number * PAGE
+    survivors_before = {
+        cache.line_vaddr[i]
+        for i in cache.resident_lines()
+        if not page_vaddr <= cache.line_vaddr[i] < page_vaddr + PAGE
+    }
+    TagCheckedFlush().flush_page(cache, page_vaddr, PAGE)
+    assert cache.lines_of_page(page_vaddr, PAGE) == []
+    survivors_after = {
+        cache.line_vaddr[i] for i in cache.resident_lines()
+    }
+    assert survivors_after == survivors_before
+
+
+@given(operations)
+def test_stats_counts_are_consistent(ops):
+    cache = make_cache()
+    apply_ops(cache, ops)
+    resident = len(cache.resident_lines())
+    removed = (
+        cache.stats["evictions"] + cache.stats["invalidations"]
+    )
+    # Every filled line is either still resident or was removed.
+    assert cache.stats["fills"] - removed == resident

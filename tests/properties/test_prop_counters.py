@@ -1,0 +1,55 @@
+"""Property tests: counter bank semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.counters.counters import (
+    COUNTER_MODULUS,
+    PerformanceCounters,
+)
+from repro.counters.events import Event, MODE_SETS
+
+events = st.sampled_from(list(Event))
+increments = st.lists(
+    st.tuples(events, st.integers(1, 1000)), max_size=50
+)
+
+
+@given(increments)
+def test_omniscient_counts_are_exact_sums(sequence):
+    counters = PerformanceCounters()
+    expected = {}
+    for event, amount in sequence:
+        counters.increment(event, amount)
+        expected[event] = expected.get(event, 0) + amount
+    for event, total in expected.items():
+        assert counters.read(event) == total % COUNTER_MODULUS
+
+
+@given(increments, st.sampled_from(sorted(MODE_SETS)))
+def test_moded_bank_is_projection_of_omniscient(sequence, mode):
+    moded = PerformanceCounters(mode=mode)
+    omni = PerformanceCounters()
+    for event, amount in sequence:
+        moded.increment(event, amount)
+        omni.increment(event, amount)
+    visible = set(MODE_SETS[mode])
+    for event in Event:
+        if event in visible:
+            assert moded.read(event) == omni.read(event)
+        else:
+            assert moded.read(event) == 0
+
+
+@given(increments, increments)
+def test_snapshot_delta_equals_interval_increments(first, second):
+    counters = PerformanceCounters()
+    for event, amount in first:
+        counters.increment(event, amount)
+    snapshot = counters.snapshot()
+    interval = {}
+    for event, amount in second:
+        counters.increment(event, amount)
+        interval[event] = interval.get(event, 0) + amount
+    delta = counters.snapshot() - snapshot
+    for event, amount in interval.items():
+        assert delta[event] == amount % COUNTER_MODULUS

@@ -1,0 +1,90 @@
+"""Property tests: the geometric excess-fault model and cost models."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.policies.costs import (
+    EventCounts,
+    TimeParameters,
+    overhead,
+    overhead_table,
+)
+from repro.policies.model import ExcessFaultModel
+
+probabilities = st.floats(0.05, 1.0)
+count_values = st.integers(0, 10**7)
+
+
+@given(probabilities)
+def test_tail_probabilities_are_monotone(p_w):
+    model = ExcessFaultModel(p_w)
+    tails = [model.probability_at_least(k) for k in range(8)]
+    assert all(a >= b for a, b in zip(tails, tails[1:]))
+    assert tails[0] == 1.0
+
+
+@given(probabilities)
+def test_expectation_equals_tail_sum(p_w):
+    # E[X] = sum_{k>=1} P(X >= k) for non-negative integer X.
+    model = ExcessFaultModel(p_w)
+    tail_sum = sum(
+        model.probability_at_least(k) for k in range(1, 4000)
+    )
+    assert abs(tail_sum - model.expected_excess_per_fault) < 1e-6
+
+
+@given(st.integers(1, 10**6), st.integers(1, 10**6))
+def test_model_from_counts_prediction_bounds(n_w_hit, n_w_miss):
+    model = ExcessFaultModel.from_counts(n_w_hit, n_w_miss)
+    prediction = model.predicted_excess_fraction()
+    assert prediction >= 0
+    # Prediction equals hit/miss ratio exactly for the geometric form.
+    assert abs(prediction - n_w_hit / n_w_miss) < 1e-9
+
+
+@given(
+    st.integers(0, 10**6), st.integers(0, 10**6),
+    st.integers(0, 10**6), count_values, count_values,
+)
+def test_min_is_always_the_floor(n_intrinsic, n_zfod, n_ef, n_w_hit,
+                                 n_w_miss):
+    counts = EventCounts(
+        n_ds=n_intrinsic + n_zfod, n_zfod=n_zfod, n_ef=n_ef,
+        n_w_hit=n_w_hit, n_w_miss=n_w_miss,
+    )
+    table = overhead_table(counts)
+    floor = table["MIN"][0]
+    for policy, (cycles, _) in table.items():
+        assert cycles >= floor
+
+
+@given(
+    st.integers(0, 10**5), st.integers(0, 10**5), st.integers(0, 10**5)
+)
+def test_fault_flush_crossover_at_two_to_one(n_intrinsic, n_zfod,
+                                             n_ef):
+    # With Table 3.2 times (t_flush = t_ds / 2), FAULT <= FLUSH exactly
+    # when excess faults are at most half the necessary faults —
+    # the paper's stated crossover.
+    counts = EventCounts(
+        n_ds=n_intrinsic + n_zfod, n_zfod=n_zfod, n_ef=n_ef,
+        n_w_hit=0, n_w_miss=1,
+    )
+    fault = overhead("FAULT", counts)
+    flush = overhead("FLUSH", counts)
+    if n_ef * 2 <= n_intrinsic:
+        assert fault <= flush
+    if n_ef * 2 > n_intrinsic:
+        assert fault > flush
+
+
+@given(st.floats(0.1, 0.95), st.integers(100, 3000))
+def test_monte_carlo_within_tolerance(p_w, pages):
+    model = ExcessFaultModel(p_w)
+    rng = DeterministicRng(1234)
+    total = model.simulate(rng, pages)
+    expected = pages * model.expected_excess_per_fault
+    # Loose bound: five standard deviations of the geometric sum.
+    import math
+    std = math.sqrt(pages * (1 - p_w)) / p_w
+    assert abs(total - expected) <= 5 * std + 1

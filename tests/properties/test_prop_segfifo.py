@@ -1,0 +1,109 @@
+"""Property tests: segmented-FIFO invariants under random traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import TINY_PAGE, make_machine, simple_space
+
+HEAP_PAGES = 28
+
+
+def build_machine():
+    space_map, regions = simple_space(heap_pages=HEAP_PAGES)
+    machine = make_machine(
+        space_map, memory_bytes=14 * TINY_PAGE, wired_frames=2,
+        daemon_kind="segfifo", reference_policy="NOREF",
+    )
+    return machine, regions
+
+
+traffic = st.lists(
+    st.tuples(
+        st.sampled_from([READ, WRITE]),
+        st.integers(0, HEAP_PAGES * TINY_PAGE - 1),
+    ),
+    max_size=250,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic)
+def test_page_states_are_disjoint(ops):
+    # Every known page is in exactly one state: resident-active,
+    # inactive (frame held, PTE invalid), or evicted (no frame).
+    machine, regions = build_machine()
+    heap = regions["heap"].start
+    machine.run([(kind, heap + off) for kind, off in ops])
+    daemon = machine.vm.daemon
+    active = set(daemon.resident_pages())
+    inactive = set(daemon.inactive_pages())
+    assert not active & inactive
+    for vpn, page in machine.vm.pages.items():
+        pte = machine.page_table.lookup(vpn)
+        if vpn in inactive:
+            assert page.inactive
+            assert page.frame is not None
+            assert not pte.valid
+        elif page.frame is not None:
+            assert pte.valid
+            assert not page.inactive
+        else:
+            assert not pte.valid
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic)
+def test_frames_conserved(ops):
+    machine, regions = build_machine()
+    heap = regions["heap"].start
+    machine.run([(kind, heap + off) for kind, off in ops])
+    frame_table = machine.vm.frame_table
+    held = sum(
+        1 for page in machine.vm.pages.values()
+        if page.frame is not None
+    )
+    assert held == frame_table.resident_count()
+    assert held + machine.vm.allocator.free_count == (
+        frame_table.allocatable_frames
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic)
+def test_inactive_pages_have_no_cached_blocks(ops):
+    # Deactivation flushed them, and any access would have rescued
+    # the page first — so inactive pages never have cache residue.
+    machine, regions = build_machine()
+    heap = regions["heap"].start
+    machine.run([(kind, heap + off) for kind, off in ops])
+    for vpn in machine.vm.daemon.inactive_pages():
+        assert machine.cache.lines_of_page(
+            vpn << machine.page_bits, machine.page_bytes
+        ) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic)
+def test_writes_never_lost_across_soft_eviction(ops):
+    # Any page written during the run and still known must either be
+    # marked modified (in any state holding a frame) or have a swap
+    # image from a hard eviction.
+    machine, regions = build_machine()
+    heap = regions["heap"].start
+    machine.run([(kind, heap + off) for kind, off in ops])
+    written = {
+        (heap + off) >> machine.page_bits
+        for kind, off in ops if kind == WRITE
+    }
+    for vpn in written:
+        page = machine.vm.pages.get(vpn)
+        if page is None:
+            continue
+        pte = machine.page_table.entry(vpn)
+        if page.frame is not None:
+            assert pte.is_modified() or machine.swap.has_image(vpn)
+        else:
+            # Hard-evicted: the data must be on swap (zero-fill pages
+            # always go out on first replacement).
+            assert machine.swap.has_image(vpn)

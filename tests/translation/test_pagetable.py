@@ -1,0 +1,117 @@
+"""Unit tests for the two-level page-table structure."""
+
+import pytest
+
+from repro.common.errors import AddressError, ConfigurationError
+from repro.common.types import PageKind, Protection
+from repro.translation.pagetable import (
+    PTE_BYTES,
+    PageTable,
+    PageTableLayout,
+)
+
+
+class TestLayoutArithmetic:
+    def test_pte_vaddr_is_shift_and_concatenate(self):
+        layout = PageTableLayout(page_bytes=4096)
+        assert layout.pte_vaddr(0) == layout.pte_base
+        assert layout.pte_vaddr(5) == layout.pte_base + 5 * PTE_BYTES
+
+    def test_consecutive_vpns_get_consecutive_ptes(self):
+        # Eight PTEs share one 32-byte cache block: spatial locality is
+        # the whole point of in-cache translation.
+        layout = PageTableLayout(page_bytes=4096)
+        assert (
+            layout.pte_vaddr(9) - layout.pte_vaddr(8) == PTE_BYTES
+        )
+
+    def test_second_level_address(self):
+        layout = PageTableLayout(page_bytes=4096)
+        pte_vaddr = layout.pte_vaddr(123)
+        second = layout.second_level_pte_vaddr(pte_vaddr)
+        assert second >= layout.second_level_base
+        # PTEs in the same page-table page share a second-level PTE.
+        same_page = layout.pte_vaddr(124)
+        assert layout.second_level_pte_vaddr(same_page) == second
+
+    def test_page_table_region_detection(self):
+        layout = PageTableLayout()
+        assert layout.is_page_table_address(layout.pte_base)
+        assert not layout.is_page_table_address(0x1000)
+
+    def test_vpn_of_rejects_page_table_addresses(self):
+        layout = PageTableLayout()
+        with pytest.raises(AddressError):
+            layout.vpn_of(layout.pte_base)
+
+    def test_misaligned_bases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageTableLayout(page_bytes=4096, pte_base=0x8000_0001)
+
+    def test_overlapping_tables_rejected(self):
+        # First-level table for a full user space at tiny pages would
+        # exceed the gap to the second-level base.
+        with pytest.raises(ConfigurationError):
+            PageTableLayout(
+                page_bytes=32,
+                pte_base=0x8000_0000,
+                second_level_base=0x8000_1000,
+                user_limit=0x8000_0000,
+            )
+
+
+class TestPageTable:
+    def test_lookup_unmapped_returns_invalid_sentinel(self):
+        table = PageTable()
+        pte = table.lookup(42)
+        assert not pte.valid
+
+    def test_lookup_does_not_create_entries(self):
+        table = PageTable()
+        table.lookup(42)
+        assert 42 not in table
+        assert len(table) == 0
+
+    def test_entry_creates_lazily(self):
+        table = PageTable()
+        pte = table.entry(7)
+        assert 7 in table
+        assert table.entry(7) is pte
+
+    def test_map_sets_fields_and_clears_bits(self):
+        table = PageTable()
+        pte = table.map(3, ppn=9, protection=Protection.READ_ONLY,
+                        kind=PageKind.ZERO_FILL)
+        assert pte.valid
+        assert pte.ppn == 9
+        assert pte.protection is Protection.READ_ONLY
+        # Sprite maps zero-fill pages clean so the first write faults.
+        assert not pte.dirty and not pte.software_dirty
+        assert not pte.referenced
+        assert pte.kind is PageKind.ZERO_FILL
+
+    def test_remap_reuses_entry(self):
+        table = PageTable()
+        first = table.map(3, 9, Protection.READ_WRITE, PageKind.FILE)
+        first.dirty = True
+        second = table.map(3, 11, Protection.READ_ONLY, PageKind.SWAP)
+        assert second is first
+        assert not second.dirty
+        assert second.ppn == 11
+
+    def test_unmap_invalidates_but_keeps_entry(self):
+        table = PageTable()
+        table.map(3, 9, Protection.READ_WRITE, PageKind.FILE)
+        table.unmap(3)
+        assert not table.lookup(3).valid
+        assert 3 in table
+
+    def test_unmap_of_unknown_vpn_is_noop(self):
+        PageTable().unmap(99)  # must not raise
+
+    def test_resident_vpns(self):
+        table = PageTable()
+        table.map(1, 0, Protection.READ_WRITE, PageKind.FILE)
+        table.map(2, 1, Protection.READ_WRITE, PageKind.FILE)
+        table.unmap(1)
+        assert table.resident_vpns() == [2]

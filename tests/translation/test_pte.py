@@ -1,0 +1,84 @@
+"""Unit tests for the PTE format of Figure 3.2(a)."""
+
+import pytest
+
+from repro.common.types import PageKind, Protection
+from repro.translation.pte import (
+    PTE_LAYOUT,
+    PageTableEntry,
+    pack_pte,
+    unpack_pte,
+)
+
+
+class TestLayout:
+    def test_figure_3_2a_fields_present(self):
+        # PR, C, K, D, R, V plus the physical page number.
+        for name in ("PR", "C", "K", "D", "R", "V", "PPN"):
+            assert name in PTE_LAYOUT
+
+    def test_protection_is_two_bits(self):
+        assert PTE_LAYOUT["PR"].width == 2
+
+    def test_flag_fields_are_one_bit(self):
+        for name in ("C", "K", "D", "R", "V"):
+            assert PTE_LAYOUT[name].width == 1
+
+    def test_word_is_32_bits(self):
+        assert PTE_LAYOUT.word_width == 32
+
+
+class TestPackUnpack:
+    def test_round_trip_preserves_hardware_fields(self):
+        pte = PageTableEntry(
+            ppn=0x1234A,
+            protection=Protection.READ_WRITE,
+            dirty=True,
+            referenced=True,
+            valid=True,
+            cacheable=True,
+            coherent=False,
+        )
+        other = unpack_pte(pack_pte(pte))
+        assert other.ppn == pte.ppn
+        assert other.protection is Protection.READ_WRITE
+        assert other.dirty and other.referenced and other.valid
+        assert other.cacheable and not other.coherent
+
+    def test_software_state_not_in_hardware_word(self):
+        pte = PageTableEntry(software_dirty=True,
+                             kind=PageKind.ZERO_FILL)
+        other = unpack_pte(pack_pte(pte))
+        assert other.software_dirty is False
+        assert other.kind is PageKind.FILE  # the constructor default
+
+    def test_invalid_entry_packs_to_clear_valid_bit(self):
+        word = pack_pte(PageTableEntry())
+        assert PTE_LAYOUT.get(word, "V") == 0
+
+
+class TestEntryBehaviour:
+    def test_is_modified_tracks_either_dirty_bit(self):
+        pte = PageTableEntry()
+        assert not pte.is_modified()
+        pte.dirty = True
+        assert pte.is_modified()
+        pte.dirty = False
+        pte.software_dirty = True
+        assert pte.is_modified()
+
+    def test_clear_resets_mapping_state(self):
+        pte = PageTableEntry(ppn=7, protection=Protection.READ_WRITE,
+                             dirty=True, referenced=True, valid=True,
+                             software_dirty=True)
+        pte.clear()
+        assert not pte.valid
+        assert not pte.is_modified()
+        assert not pte.referenced
+        assert pte.ppn == 0
+        assert pte.protection is Protection.NONE
+
+    def test_repr_shows_flags(self):
+        pte = PageTableEntry(valid=True, dirty=True)
+        text = repr(pte)
+        assert "V" in text and "D" in text

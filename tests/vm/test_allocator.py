@@ -1,0 +1,47 @@
+"""Unit tests for the free-frame allocator."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.vm.allocator import FrameAllocator, OutOfFramesError
+from repro.vm.frames import FrameTable
+
+
+def make_allocator(frames=8, wired=2):
+    return FrameAllocator(FrameTable(frames, wired_frames=wired))
+
+
+class TestAllocation:
+    def test_free_count_excludes_wired(self):
+        assert make_allocator(8, 2).free_count == 6
+
+    def test_allocate_assigns_frame(self):
+        allocator = make_allocator()
+        frame = allocator.allocate(vpn=7)
+        assert allocator.frame_table.owner(frame) == 7
+        assert allocator.free_count == 5
+
+    def test_never_hands_out_wired_frames(self):
+        allocator = make_allocator(8, 2)
+        frames = {allocator.allocate(vpn=i) for i in range(6)}
+        assert all(frame >= 2 for frame in frames)
+        assert len(frames) == 6
+
+    def test_exhaustion_raises(self):
+        allocator = make_allocator(4, 1)
+        for i in range(3):
+            allocator.allocate(vpn=i)
+        with pytest.raises(OutOfFramesError):
+            allocator.allocate(vpn=99)
+
+    def test_free_recycles(self):
+        allocator = make_allocator()
+        frame = allocator.allocate(vpn=1)
+        allocator.free(frame)
+        assert allocator.free_count == 6
+        assert allocator.allocate(vpn=2) == frame  # LIFO reuse
+
+    def test_free_of_unassigned_frame_rejected(self):
+        allocator = make_allocator()
+        with pytest.raises(ConfigurationError):
+            allocator.free(5)

@@ -1,0 +1,16 @@
+"""Unit tests for the fault taxonomy."""
+
+from repro.vm.faults import FaultKind
+
+
+def test_dirty_related_classification():
+    assert FaultKind.DIRTY_FAULT.is_dirty_related
+    assert FaultKind.EXCESS_FAULT.is_dirty_related
+    assert not FaultKind.PAGE_FAULT.is_dirty_related
+    assert not FaultKind.REFERENCE_FAULT.is_dirty_related
+    assert not FaultKind.PROTECTION_FAULT.is_dirty_related
+
+
+def test_values_are_distinct():
+    values = [fault.value for fault in FaultKind]
+    assert len(values) == len(set(values))

@@ -1,0 +1,54 @@
+"""Unit tests for the frame table."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.vm.frames import FrameTable
+
+
+class TestConstruction:
+    def test_basic(self):
+        table = FrameTable(8, wired_frames=2)
+        assert table.allocatable_frames == 6
+        assert table.resident_count() == 0
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ConfigurationError):
+            FrameTable(0)
+
+    def test_rejects_all_wired(self):
+        with pytest.raises(ConfigurationError):
+            FrameTable(4, wired_frames=4)
+
+
+class TestAssignment:
+    def test_assign_and_owner(self):
+        table = FrameTable(8, wired_frames=2)
+        table.assign(5, vpn=123)
+        assert table.owner(5) == 123
+        assert not table.is_free(5)
+        assert table.resident_count() == 1
+
+    def test_release_returns_owner(self):
+        table = FrameTable(8)
+        table.assign(3, vpn=9)
+        assert table.release(3) == 9
+        assert table.is_free(3)
+
+    def test_double_assign_rejected(self):
+        table = FrameTable(8)
+        table.assign(3, vpn=9)
+        with pytest.raises(ConfigurationError):
+            table.assign(3, vpn=10)
+
+    def test_release_of_free_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameTable(8).release(3)
+
+    def test_wired_frames_not_assignable(self):
+        table = FrameTable(8, wired_frames=2)
+        with pytest.raises(ConfigurationError):
+            table.assign(1, vpn=5)
+
+    def test_owner_of_free_frame_is_none(self):
+        assert FrameTable(8).owner(0) is None

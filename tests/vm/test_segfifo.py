@@ -1,0 +1,159 @@
+"""Tests for the segmented-FIFO (no-reference-bits) extension."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.counters.events import Event
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import TINY_PAGE, make_machine, simple_space
+
+
+def segfifo_machine(heap_pages=40, **overrides):
+    space_map, regions = simple_space(heap_pages=heap_pages)
+    machine = make_machine(
+        space_map,
+        memory_bytes=16 * TINY_PAGE,
+        wired_frames=2,
+        daemon_kind="segfifo",
+        reference_policy="NOREF",
+        **overrides,
+    )
+    return machine, regions
+
+
+def touch(machine, region, count, op=READ, start=0):
+    machine.run([
+        (op, region.start + (start + i) * TINY_PAGE)
+        for i in range(count)
+    ])
+
+
+class TestConfiguration:
+    def test_unknown_daemon_rejected(self):
+        space_map, _ = simple_space()
+        with pytest.raises(ConfigurationError):
+            make_machine(space_map, daemon_kind="lru")
+
+    def test_clock_remains_the_default(self):
+        from repro.vm.pagedaemon import ClockPageDaemon
+        space_map, _ = simple_space()
+        machine = make_machine(space_map)
+        assert isinstance(machine.vm.daemon, ClockPageDaemon)
+
+    def test_segfifo_selected(self):
+        from repro.vm.segfifo import SegmentedFifoDaemon
+        machine, _ = segfifo_machine()
+        assert isinstance(machine.vm.daemon, SegmentedFifoDaemon)
+
+
+class TestSoftEviction:
+    def test_pressure_deactivates_before_evicting(self):
+        machine, regions = segfifo_machine()
+        touch(machine, regions["heap"], 30, op=WRITE)
+        counters = machine.counters
+        assert counters.read(Event.PAGE_DEACTIVATE) > 0
+        # Hard reclaims only happen after the inactive list fills.
+        assert counters.read(Event.PAGE_DEACTIVATE) >= (
+            counters.read(Event.PAGE_RECLAIM)
+        )
+
+    def test_deactivated_page_keeps_frame_and_dirty_state(self):
+        machine, regions = segfifo_machine()
+        heap = regions["heap"]
+        machine.run([(WRITE, heap.start)])
+        vpn = heap.start >> machine.page_bits
+        machine.vm.deactivate(vpn)
+        page = machine.vm.page(vpn)
+        pte = machine.page_table.entry(vpn)
+        assert page.inactive
+        assert page.frame is not None
+        assert not pte.valid
+        assert pte.is_modified()  # preserved for the hard eviction
+
+    def test_deactivation_flushes_the_cache(self):
+        machine, regions = segfifo_machine()
+        heap = regions["heap"]
+        machine.run([(WRITE, heap.start), (READ, heap.start + 32)])
+        vpn = heap.start >> machine.page_bits
+        machine.vm.deactivate(vpn)
+        assert machine.cache.lines_of_page(
+            heap.start, TINY_PAGE
+        ) == []
+
+    def test_reactivation_is_io_free(self):
+        machine, regions = segfifo_machine()
+        heap = regions["heap"]
+        machine.run([(WRITE, heap.start)])
+        vpn = heap.start >> machine.page_bits
+        machine.vm.deactivate(vpn)
+        machine.vm.daemon._inactive.append(vpn)
+        machine.vm.daemon._inactive_members.add(vpn)
+        page_ins_before = machine.swap.stats.page_ins
+        machine.run([(READ, heap.start)])
+        assert machine.swap.stats.page_ins == page_ins_before
+        assert machine.counters.read(Event.PAGE_REACTIVATE) == 1
+        assert machine.page_table.entry(vpn).valid
+
+    def test_reactivated_dirty_page_stays_writable(self):
+        machine, regions = segfifo_machine()
+        heap = regions["heap"]
+        machine.run([(WRITE, heap.start)])
+        vpn = heap.start >> machine.page_bits
+        machine.vm.deactivate(vpn)
+        machine.vm.daemon._inactive.append(vpn)
+        machine.vm.daemon._inactive_members.add(vpn)
+        machine.run([(WRITE, heap.start)])
+        # No second dirty fault: the preserved dirty state kept the
+        # page writable across the soft eviction.
+        assert machine.counters.read(Event.DIRTY_FAULT) == 1
+
+
+class TestEndToEnd:
+    def test_touching_an_inactive_page_rescues_it(self):
+        machine, regions = segfifo_machine()
+        heap = regions["heap"]
+        # Pressure memory until the daemon has built an inactive list,
+        # then touch one of its members: that must be a rescue.
+        touch(machine, heap, 24, op=WRITE)
+        inactive = machine.vm.daemon.inactive_pages()
+        assert inactive, "pressure should populate the inactive list"
+        vpn = inactive[-1]
+        machine.run([(READ, vpn << machine.page_bits)])
+        assert machine.counters.read(Event.PAGE_REACTIVATE) == 1
+
+    def test_fewer_page_ins_than_plain_noref(self):
+        def drive(daemon_kind):
+            space_map, regions = simple_space(heap_pages=40)
+            machine = make_machine(
+                space_map, memory_bytes=16 * TINY_PAGE,
+                wired_frames=2, daemon_kind=daemon_kind,
+                reference_policy="NOREF",
+            )
+            heap = regions["heap"]
+            for _ in range(4):
+                touch(machine, heap, 36, op=WRITE)
+            return machine.swap.stats.page_ins
+
+        assert drive("segfifo") <= drive("clock")
+
+    def test_invariants_hold(self):
+        machine, regions = segfifo_machine()
+        for _ in range(3):
+            touch(machine, regions["heap"], 38, op=WRITE)
+        frame_table = machine.vm.frame_table
+        assert frame_table.resident_count() <= (
+            frame_table.allocatable_frames
+        )
+        # Frame/page agreement including inactive pages (which own
+        # frames but have invalid PTEs).
+        for vpn, page in machine.vm.pages.items():
+            if page.frame is not None:
+                assert frame_table.owner(page.frame) == vpn
+                pte = machine.page_table.entry(vpn)
+                assert pte.valid != page.inactive
+
+    def test_guard_prevents_infinite_run(self):
+        machine, _ = segfifo_machine()
+        # Run the daemon with nothing resident: must terminate.
+        assert machine.vm.daemon.run() == 0

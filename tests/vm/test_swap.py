@@ -1,0 +1,67 @@
+"""Unit tests for the swap device and Table 3.5 accounting."""
+
+import pytest
+
+from repro.vm.swap import SwapDevice, SwapStats
+
+
+class TestDevice:
+    def test_page_out_creates_image(self):
+        swap = SwapDevice()
+        assert not swap.has_image(5)
+        swap.page_out(5)
+        assert swap.has_image(5)
+
+    def test_io_cycles_returned(self):
+        swap = SwapDevice(io_cycles=777)
+        assert swap.page_out(1) == 777
+        assert swap.page_in(1) == 777
+
+    def test_counts(self):
+        swap = SwapDevice()
+        swap.page_in(1)
+        swap.page_in(2)
+        swap.page_out(1)
+        swap.note_zero_fill()
+        assert swap.stats.page_ins == 2
+        assert swap.stats.page_outs == 1
+        assert swap.stats.zero_fills == 1
+
+    def test_drop_image(self):
+        swap = SwapDevice()
+        swap.page_out(4)
+        swap.drop_image(4)
+        assert not swap.has_image(4)
+        swap.drop_image(4)  # idempotent
+
+
+class TestTable35Accounting:
+    def test_percent_not_modified(self):
+        stats = SwapStats(potentially_modified=100, not_modified=18)
+        assert stats.percent_not_modified == pytest.approx(18.0)
+
+    def test_percent_not_modified_empty(self):
+        assert SwapStats().percent_not_modified == 0.0
+
+    def test_percent_additional_io_matches_paper_formula(self):
+        # mace row of Table 3.5: 15203 page-ins, 2681 potentially
+        # modified, 488 not modified -> 2193 actual page-outs ->
+        # 488 / (15203 + 2193) = 2.8%.
+        stats = SwapStats(
+            page_ins=15203,
+            page_outs=2681 - 488,
+            potentially_modified=2681,
+            not_modified=488,
+        )
+        assert stats.percent_additional_io == pytest.approx(2.8, abs=0.05)
+
+    def test_percent_additional_io_no_io(self):
+        assert SwapStats().percent_additional_io == 0.0
+
+    def test_writable_replacement_classification(self):
+        swap = SwapDevice()
+        swap.note_writable_replacement(was_modified=True)
+        swap.note_writable_replacement(was_modified=False)
+        swap.note_writable_replacement(was_modified=True)
+        assert swap.stats.potentially_modified == 3
+        assert swap.stats.not_modified == 1

@@ -1,0 +1,94 @@
+"""Tests for process-exit teardown."""
+
+import pytest
+
+from repro.counters.events import Event
+from repro.vm.segments import ProcessAddressSpace, RegionKind
+from repro.vm.segments import AddressSpaceMap
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import TINY_PAGE, make_machine
+
+
+def two_process_machine(**overrides):
+    space_map = AddressSpaceMap(TINY_PAGE)
+    heaps = {}
+    for pid in (0, 1):
+        space = ProcessAddressSpace(
+            pid, (pid + 1) * (1 << 20), 1 << 20, space_map
+        )
+        heaps[pid] = space.add_region("heap", RegionKind.HEAP,
+                                      16 * TINY_PAGE)
+    space_map.seal()
+    machine = make_machine(space_map, **overrides)
+    return machine, heaps
+
+
+class TestTeardown:
+    def test_frees_only_the_dead_process(self):
+        machine, heaps = two_process_machine()
+        for pid in (0, 1):
+            machine.run([
+                (WRITE, heaps[pid].start + i * TINY_PAGE)
+                for i in range(6)
+            ])
+        resident_before = machine.vm.frame_table.resident_count()
+        _, freed = machine.vm.teardown_process(0)
+        assert freed == 6
+        assert machine.vm.frame_table.resident_count() == (
+            resident_before - 6
+        )
+        # Process 1 untouched.
+        survivor_vpn = heaps[1].start >> machine.page_bits
+        assert machine.page_table.lookup(survivor_vpn).valid
+
+    def test_dirty_pages_freed_without_page_out(self):
+        machine, heaps = two_process_machine()
+        machine.run([
+            (WRITE, heaps[0].start + i * TINY_PAGE) for i in range(6)
+        ])
+        outs_before = machine.swap.stats.page_outs
+        machine.vm.teardown_process(0)
+        assert machine.swap.stats.page_outs == outs_before
+
+    def test_cache_lines_invalidated_without_write_back(self):
+        machine, heaps = two_process_machine()
+        machine.run([(WRITE, heaps[0].start)])
+        write_backs = machine.cache.stats["write_backs"]
+        machine.vm.teardown_process(0)
+        assert machine.cache.probe(heaps[0].start) == -1
+        assert machine.cache.stats["write_backs"] == write_backs
+
+    def test_swap_images_dropped(self):
+        machine, heaps = two_process_machine(
+            memory_bytes=8 * TINY_PAGE, wired_frames=2,
+        )
+        heap = heaps[0]
+        machine.run([(WRITE, heap.start)])
+        machine.run([
+            (WRITE, heap.start + i * TINY_PAGE) for i in range(16)
+        ])
+        vpn = heap.start >> machine.page_bits
+        if not machine.swap.has_image(vpn):
+            pytest.skip("first page survived; enlarge the sweep")
+        machine.vm.teardown_process(0)
+        assert not machine.swap.has_image(vpn)
+
+    def test_address_space_reusable_after_teardown(self):
+        # A new process image at the same addresses (pid reuse) starts
+        # from clean zero-fill state.
+        machine, heaps = two_process_machine()
+        machine.run([(WRITE, heaps[0].start)])
+        machine.vm.teardown_process(0)
+        zfods_before = machine.counters.read(
+            Event.ZERO_FILL_DIRTY_FAULT
+        )
+        machine.run([(WRITE, heaps[0].start)])
+        assert machine.counters.read(
+            Event.ZERO_FILL_DIRTY_FAULT
+        ) == zfods_before + 1
+
+    def test_teardown_of_never_run_process_is_noop(self):
+        machine, _ = two_process_machine()
+        cycles, freed = machine.vm.teardown_process(7)
+        assert cycles == 0 and freed == 0

@@ -1,0 +1,76 @@
+"""Unit tests for the round-robin scheduler and serial chains."""
+
+import pytest
+
+from repro.workloads.mix import RoundRobinScheduler, serial
+
+
+def stream(label, count):
+    for index in range(count):
+        yield (label, index)
+
+
+class TestRoundRobin:
+    def test_interleaves_in_quanta(self):
+        scheduler = RoundRobinScheduler(
+            [stream("a", 6), stream("b", 6)], quantum=2
+        )
+        labels = [label for label, _ in scheduler.accesses()]
+        assert labels == ["a", "a", "b", "b"] * 3
+
+    def test_all_references_delivered(self):
+        scheduler = RoundRobinScheduler(
+            [stream("a", 7), stream("b", 3)], quantum=4
+        )
+        refs = list(scheduler.accesses())
+        assert len(refs) == 10
+
+    def test_finished_processes_drop_out(self):
+        scheduler = RoundRobinScheduler(
+            [stream("a", 2), stream("b", 8)], quantum=2
+        )
+        labels = [label for label, _ in scheduler.accesses()]
+        # After a's two refs, only b runs.
+        assert labels[2:] == ["b"] * 8
+
+    def test_weights_scale_quanta(self):
+        scheduler = RoundRobinScheduler(
+            [(stream("a", 8), 1.0), (stream("b", 8), 0.5)], quantum=4
+        )
+        labels = [label for label, _ in scheduler.accesses()]
+        assert labels[:6] == ["a"] * 4 + ["b"] * 2
+
+    def test_accepts_objects_with_accesses_method(self):
+        class Proc:
+            def accesses(self):
+                return stream("p", 3)
+
+        scheduler = RoundRobinScheduler([Proc()], quantum=2)
+        assert len(list(scheduler.accesses())) == 3
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler([], quantum=0)
+
+    def test_empty_scheduler(self):
+        assert list(RoundRobinScheduler([]).accesses()) == []
+
+
+class TestSerial:
+    def test_runs_back_to_back(self):
+        chained = serial([stream("a", 2), stream("b", 2)])
+        labels = [label for label, _ in chained]
+        assert labels == ["a", "a", "b", "b"]
+
+    def test_accepts_process_objects(self):
+        class Proc:
+            def __init__(self, label):
+                self.label = label
+
+            def accesses(self):
+                return stream(self.label, 1)
+
+        labels = [
+            label for label, _ in serial([Proc("x"), Proc("y")])
+        ]
+        assert labels == ["x", "y"]
