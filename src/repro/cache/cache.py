@@ -16,6 +16,7 @@ cache never needs physical tags.
 from repro.cache.block import CacheLineView
 from repro.cache.coherence import BerkeleyOwnership, BusOp, CoherencyState
 from repro.common.types import Protection
+from repro.counters.events import Event
 
 
 class VirtualCache:
@@ -37,6 +38,7 @@ class VirtualCache:
         self.timing = timing
         self.name = name
         self.bus = None  # set when attached to a SnoopyBus
+        self.counters = None  # set by the owning SpurMachine
 
         num_lines = geometry.num_lines
         self.num_lines = num_lines
@@ -152,6 +154,8 @@ class VirtualCache:
             if self.block_dirty[index]:
                 cycles += self.block_transfer_cycles
                 self.stats["write_backs"] += 1
+                if self.counters is not None:
+                    self.counters.increment(Event.WRITE_BACK)
                 self._broadcast(BusOp.WRITE_BACK, self.line_vaddr[index])
         self.valid[index] = False
         self.state[index] = CoherencyState.INVALID
@@ -171,6 +175,8 @@ class VirtualCache:
         if write_back and self.block_dirty[index]:
             cycles += self.block_transfer_cycles
             self.stats["write_backs"] += 1
+            if self.counters is not None:
+                self.counters.increment(Event.WRITE_BACK)
         self.valid[index] = False
         self.state[index] = CoherencyState.INVALID
         self.block_dirty[index] = False

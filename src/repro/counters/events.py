@@ -124,6 +124,12 @@ MODE_SETS = {
         Event.BLOCK_FILL,
         Event.FLUSH_OPERATION,
         Event.FLUSH_WRITE_BACK,
+        # The segmented-FIFO extension events ride in mode 2's spare
+        # registers: the coherency mode uses only eight of the sixteen
+        # counters, and the soft-eviction traffic is bus-adjacent (every
+        # deactivation flushes the page from all caches).
+        Event.PAGE_DEACTIVATE,
+        Event.PAGE_REACTIVATE,
     ),
     3: (
         Event.DIRTY_FAULT,

@@ -1,0 +1,36 @@
+"""Repo-specific static analysis for the SPUR reproduction.
+
+Four rules encode discipline the simulator depends on but generic
+linters cannot check::
+
+    python -m repro.lint src/
+
+* **R001** hot-path purity in ``SpurMachine.run``'s inner loop
+* **R002** parallel tag-array write discipline
+* **R003** ``Event`` exhaustiveness (mode maps + increment sites)
+* **R004** ``Event`` documentation coverage in ``docs/events.md``
+
+See ``docs/invariants.md`` for the full catalogue and rationale.
+"""
+
+from repro.lint.engine import Module, run_lint
+from repro.lint.findings import Finding, LintConfig
+from repro.lint.rules import (
+    ALL_RULES,
+    check_event_docs,
+    check_event_exhaustiveness,
+    check_hot_loops,
+    check_tag_array_writes,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "Module",
+    "run_lint",
+    "check_event_docs",
+    "check_event_exhaustiveness",
+    "check_hot_loops",
+    "check_tag_array_writes",
+]

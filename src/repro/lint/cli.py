@@ -1,0 +1,55 @@
+"""``python -m repro.lint``: run the repo-specific lint rules.
+
+::
+
+    python -m repro.lint            # lint src/
+    python -m repro.lint src tests  # explicit targets
+
+Exit status 0 when clean, 1 when any rule fires.  See
+``docs/invariants.md`` for what each rule enforces.
+"""
+
+import argparse
+import sys
+
+from repro.lint.engine import run_lint
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Repo-specific static checks: hot-path purity (R001), "
+            "parallel tag-array write discipline (R002), Event "
+            "exhaustiveness (R003), Event documentation (R004)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line; print findings only",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        findings = run_lint(args.paths)
+    except FileNotFoundError as error:
+        print(f"repro.lint: {error}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        count = len(findings)
+        noun = "finding" if count == 1 else "findings"
+        print(f"repro.lint: {count} {noun} in {' '.join(args.paths)}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Collect sources, parse once, run every rule."""
+
+import ast
+import os
+from dataclasses import dataclass
+
+from repro.lint.findings import Finding, LintConfig
+from repro.lint.rules import ALL_RULES
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file handed to the rules."""
+
+    path: str
+    tree: ast.Module
+    source: str
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".egg-info"}
+
+
+def collect_files(paths):
+    """Every ``.py`` file under *paths* (files or directories).
+
+    A path that does not exist raises ``FileNotFoundError`` — a typo'd
+    target must not report a clean 0-findings run.
+    """
+    files = []
+    for path in paths:
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"lint target does not exist: {path}"
+            )
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs
+                if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+            )
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def parse_modules(files):
+    """Parse *files*; syntax errors become findings, not crashes.
+
+    Returns ``(modules, findings)``.
+    """
+    modules = []
+    findings = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            findings.append(Finding(
+                "E000", path, error.lineno or 1,
+                f"syntax error: {error.msg}",
+            ))
+            continue
+        modules.append(Module(path=path, tree=tree, source=source))
+    return modules, findings
+
+
+def run_lint(paths, config=None):
+    """Lint *paths* and return findings sorted by location."""
+    if config is None:
+        config = LintConfig()
+    modules, findings = parse_modules(collect_files(paths))
+    for rule in ALL_RULES:
+        findings.extend(rule(modules, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+__all__ = ["Module", "collect_files", "parse_modules", "run_lint"]

@@ -1,0 +1,79 @@
+"""Finding and configuration records for the repo lint pass."""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, renderable as ``path:line: RULE message``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Repo-specific knowledge the rules key on.
+
+    Every field has the production default; tests override individual
+    fields to aim the rules at crafted fixtures.
+    """
+
+    #: ``ClassName.method`` functions whose loops are hot paths (R001).
+    hot_loops: tuple = ("SpurMachine.run",)
+
+    #: Attribute-call names permitted inside a hot loop (R001).  Empty
+    #: by default: the hot loop must pre-bind every callable and
+    #: container it touches.
+    hot_loop_attr_allowlist: frozenset = frozenset()
+
+    #: The cache's parallel tag arrays (R002); writes to
+    #: ``<obj>.<field>[...]`` outside the sanctioned modules flag.
+    tag_arrays: frozenset = frozenset({
+        "valid",
+        "tags",
+        "line_vaddr",
+        "prot",
+        "page_dirty",
+        "block_dirty",
+        "state",
+        "filled_by_read",
+        "holds_pte",
+    })
+
+    #: Module basename -> fields it may write (R002).  ``"*"`` means
+    #: every field.  cache.py owns the arrays; the machine's hot loop
+    #: and the dirty policies perform the documented single-field
+    #: updates (see the docstring of ``repro/cache/cache.py``).
+    tag_array_writers: tuple = (
+        ("cache.py", "*"),
+        ("simulator.py", frozenset({"block_dirty", "filled_by_read"})),
+        ("dirty.py", frozenset({"prot", "page_dirty"})),
+    )
+
+    #: Basename of the module defining the Event enum and mode maps
+    #: (R003 parses it from the scanned file set).
+    events_module: str = "events.py"
+
+    #: Names of the enum class and the mode-map constant in it.
+    event_class: str = "Event"
+    mode_sets_name: str = "MODE_SETS"
+
+    #: Path of the event documentation page (R004).
+    events_doc: str = "docs/events.md"
+
+    def replace(self, **overrides):
+        """A copy with the given fields overridden."""
+        values = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        values.update(overrides)
+        return LintConfig(**values)
+
+
+__all__ = ["Finding", "LintConfig"]

@@ -1,0 +1,331 @@
+"""The four repo lint rules.
+
+Each rule is a function ``(modules, config) -> list[Finding]`` where
+``modules`` is the engine's parsed file set (see
+:class:`~repro.lint.engine.Module`).  The rules encode repo-specific
+discipline that generic linters cannot see:
+
+R001
+    Hot-path purity.  The inner loops of the functions named in
+    ``config.hot_loops`` may not make attribute calls (``obj.m()``),
+    build comprehensions, or allocate list/dict/set literals — every
+    callable and container must be pre-bound to a local before the
+    loop.  The simulator's throughput lives and dies on this.
+
+R002
+    Parallel-array write discipline.  The cache's tag arrays are nine
+    parallel lists indexed by line; a write to one from an
+    unsanctioned module can desynchronise them without tripping any
+    unit test until much later.  Only the writers named in
+    ``config.tag_array_writers`` may assign ``<obj>.<field>[...]``.
+
+R003
+    Event exhaustiveness.  Every ``Event`` member must appear in some
+    ``MODE_SETS`` entry (else no measurement campaign can count it)
+    and must be incremented somewhere in the scanned sources (else it
+    is dead weight in every results table).
+
+R004
+    Event documentation.  ``docs/events.md`` must name every ``Event``
+    member; Table 3-2 reviewers navigate by that page.
+"""
+
+import ast
+import os
+
+from repro.lint.findings import Finding
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+_DISPLAYS = (ast.List, ast.Dict, ast.Set)
+
+
+# -- R001: hot-path purity ---------------------------------------------
+
+
+def _qualified_functions(tree):
+    """Yield (qualname, FunctionDef) for every function in *tree*."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+
+
+def _loop_bodies(func):
+    """Yield every For/While node in *func*, including nested ones."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+            yield node
+
+
+def check_hot_loops(modules, config):
+    findings = []
+    wanted = set(config.hot_loops)
+    allow = config.hot_loop_attr_allowlist
+    for module in modules:
+        for qualname, func in _qualified_functions(module.tree):
+            if qualname not in wanted:
+                continue
+            for loop in _loop_bodies(func):
+                # The iterable of a ``for`` is evaluated once; only
+                # the body (and ``while`` tests, re-evaluated each
+                # iteration) are hot.
+                hot_nodes = list(loop.body) + list(loop.orelse)
+                if isinstance(loop, ast.While):
+                    hot_nodes.append(loop.test)
+                for stmt in hot_nodes:
+                    for node in ast.walk(stmt):
+                        finding = _classify_hot_node(
+                            node, qualname, module.path, allow
+                        )
+                        if finding is not None:
+                            findings.append(finding)
+    return findings
+
+
+def _classify_hot_node(node, qualname, path, allow):
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr not in allow:
+            return Finding(
+                "R001", path, node.lineno,
+                f"attribute call `.{func.attr}(...)` inside the hot "
+                f"loop of {qualname}; pre-bind the method to a local "
+                f"before the loop",
+            )
+    elif isinstance(node, _COMPREHENSIONS):
+        return Finding(
+            "R001", path, node.lineno,
+            f"comprehension allocates inside the hot loop of "
+            f"{qualname}; hoist it out of the loop",
+        )
+    elif isinstance(node, _DISPLAYS):
+        return Finding(
+            "R001", path, node.lineno,
+            f"{type(node).__name__.lower()} literal allocates inside "
+            f"the hot loop of {qualname}; hoist it out of the loop",
+        )
+    return None
+
+
+# -- R002: parallel-array write discipline -----------------------------
+
+
+def _sanctioned_fields(basename, writers):
+    for name, fields in writers:
+        if name == basename:
+            return fields
+    return frozenset()
+
+
+def _assignment_targets(node):
+    if isinstance(node, ast.Assign):
+        return node.targets
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def check_tag_array_writes(modules, config):
+    findings = []
+    for module in modules:
+        basename = os.path.basename(module.path)
+        sanctioned = _sanctioned_fields(
+            basename, config.tag_array_writers
+        )
+        if sanctioned == "*":
+            continue
+        for node in ast.walk(module.tree):
+            for target in _assignment_targets(node):
+                field = _tag_array_field(target, config.tag_arrays)
+                if field is None or field in sanctioned:
+                    continue
+                findings.append(Finding(
+                    "R002", module.path, target.lineno,
+                    f"write to parallel tag array `.{field}` outside "
+                    f"its sanctioned writers; route the update "
+                    f"through VirtualCache so the nine arrays stay "
+                    f"in lock-step",
+                ))
+    return findings
+
+
+def _tag_array_field(target, tag_arrays):
+    """The tag-array field *target* writes, or None.
+
+    Matches element writes — ``<expr>.field[...] = ...`` — only.
+    Those are the desynchronisation hazard: one array mutates while
+    its eight siblings keep the old line.  Plain attribute binds are
+    deliberately ignored; names like ``valid`` and ``state`` are
+    scalar fields on PTEs and other records all over the tree.
+    """
+    if not isinstance(target, ast.Subscript):
+        return None
+    value = target.value
+    if isinstance(value, ast.Attribute) and value.attr in tag_arrays:
+        return value.attr
+    return None
+
+
+# -- R003: Event exhaustiveness ----------------------------------------
+
+
+def _find_events_module(modules, config):
+    for module in modules:
+        if os.path.basename(module.path) == config.events_module:
+            return module
+    return None
+
+
+def _event_members(events_module, config):
+    """``{name: lineno}`` for every member of the Event enum."""
+    members = {}
+    for node in events_module.tree.body:
+        if (isinstance(node, ast.ClassDef)
+                and node.name == config.event_class):
+            for item in node.body:
+                if isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            members[target.id] = item.lineno
+    return members
+
+
+def _mode_set_members(events_module, config):
+    """Every ``Event.X`` name referenced inside ``MODE_SETS``."""
+    names = set()
+    for node in events_module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name)
+                   and t.id == config.mode_sets_name
+                   for t in node.targets):
+            continue
+        for sub in ast.walk(node.value):
+            if (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == config.event_class):
+                names.add(sub.attr)
+    return names
+
+
+def _incremented_members(modules, config):
+    """Every ``Event.X`` passed to an ``increment(...)`` call."""
+    names = set()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "increment"):
+                continue
+            for arg in node.args + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if (isinstance(sub, ast.Attribute)
+                            and isinstance(sub.value, ast.Name)
+                            and sub.value.id == config.event_class):
+                        names.add(sub.attr)
+    return names
+
+
+def check_event_exhaustiveness(modules, config):
+    events_module = _find_events_module(modules, config)
+    if events_module is None:
+        return []
+    members = _event_members(events_module, config)
+    in_modes = _mode_set_members(events_module, config)
+    incremented = _incremented_members(modules, config)
+
+    findings = []
+    for name, lineno in members.items():
+        if name not in in_modes:
+            findings.append(Finding(
+                "R003", events_module.path, lineno,
+                f"{config.event_class}.{name} is not assigned to any "
+                f"{config.mode_sets_name} mode; no measurement "
+                f"campaign can count it",
+            ))
+        if name not in incremented:
+            findings.append(Finding(
+                "R003", events_module.path, lineno,
+                f"{config.event_class}.{name} is never passed to "
+                f"increment() anywhere in the scanned sources",
+            ))
+    return findings
+
+
+# -- R004: Event documentation -----------------------------------------
+
+
+def _resolve_events_doc(events_module, config):
+    """Locate ``config.events_doc`` from cwd or the module's ancestors.
+
+    Tries the path relative to the working directory first (the
+    normal ``python -m repro.lint src/`` invocation from the repo
+    root), then walks up from the events module so the rule also
+    works when lint is pointed at the tree from elsewhere.
+    """
+    candidate = config.events_doc
+    if os.path.isabs(candidate):
+        return candidate if os.path.exists(candidate) else None
+    if os.path.exists(candidate):
+        return candidate
+    directory = os.path.dirname(os.path.abspath(events_module.path))
+    while True:
+        probe = os.path.join(directory, candidate)
+        if os.path.exists(probe):
+            return probe
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            return None
+        directory = parent
+
+
+def check_event_docs(modules, config):
+    events_module = _find_events_module(modules, config)
+    if events_module is None:
+        return []
+    members = _event_members(events_module, config)
+    if not members:
+        return []
+    doc_path = _resolve_events_doc(events_module, config)
+    if doc_path is None:
+        return [Finding(
+            "R004", events_module.path, 1,
+            f"event documentation {config.events_doc!r} not found; "
+            f"every {config.event_class} member must be documented "
+            f"there",
+        )]
+    with open(doc_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    findings = []
+    for name, lineno in sorted(members.items(),
+                               key=lambda item: item[1]):
+        if name not in text:
+            findings.append(Finding(
+                "R004", events_module.path, lineno,
+                f"{config.event_class}.{name} is not mentioned in "
+                f"{config.events_doc}; document it or drop the event",
+            ))
+    return findings
+
+
+ALL_RULES = (
+    check_hot_loops,
+    check_tag_array_writes,
+    check_event_exhaustiveness,
+    check_event_docs,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "check_hot_loops",
+    "check_tag_array_writes",
+    "check_event_exhaustiveness",
+    "check_event_docs",
+]

@@ -8,7 +8,6 @@ the examples use them for narration.
 
 from collections import Counter
 
-from repro.cache.coherence import CoherencyState
 from repro.common.types import Protection
 
 

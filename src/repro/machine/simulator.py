@@ -81,6 +81,7 @@ class SpurMachine:
         self.cache = VirtualCache(
             config.cache, config.memory_timing, name=f"{self.name}.cache"
         )
+        self.cache.counters = self.counters
         self.bus = bus or SnoopyBus(name=f"{self.name}.bus",
                                     counters=self.counters)
         self.bus.attach(self.cache)
@@ -235,6 +236,8 @@ class SpurMachine:
         if not page.region.writable:
             raise ProtectionFault(vaddr, "write to read-only region")
 
+        if not cache.block_dirty[index]:
+            self.counters.increment(Event.WRITE_HIT_CLEAN_BLOCK)
         if cache.filled_by_read[index] and not cache.block_dirty[index]:
             # First modification of a block that entered on a read:
             # one of the paper's N_w-hit events (counted per block).

@@ -29,6 +29,14 @@ class DirtyBitPolicy:
     #: Policy name as used in the paper's tables.
     name = "ABSTRACT"
 
+    #: Whether a set cached page-dirty copy implies the PTE records the
+    #: page as modified.  True for every policy whose
+    #: :meth:`fill_page_dirty` derives the copy from the PTE; the WRITE
+    #: policy overrides this because it fills the copy unconditionally
+    #: (the PTE is consulted on every first block write instead).  The
+    #: runtime sanitizer keys its dirty-bit invariant on this flag.
+    cached_dirty_tracks_pte = True
+
     def map_protection(self, writable):
         """Hardware protection for a freshly mapped page."""
         return Protection.READ_WRITE if writable else Protection.READ_ONLY
@@ -254,6 +262,7 @@ class WriteDirtyPolicy(DirtyBitPolicy):
     """
 
     name = "WRITE"
+    cached_dirty_tracks_pte = False
 
     def fill_page_dirty(self, pte):
         # Page-level state never goes stale under WRITE (every first

@@ -1,0 +1,8 @@
+"""``python -m repro.sanitize`` entry point."""
+
+import sys
+
+from repro.sanitize.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Pytest fixtures for sanitized simulation runs.
+
+Import (or list in ``pytest_plugins``) from a conftest to make the
+fixtures available::
+
+    from repro.sanitize.pytest_plugin import *  # noqa: F401,F403
+
+``sanitizer``
+    A factory: call it with any simulator object (machine, SMP system,
+    cache, bus, or VM system) and an optional mode to get an attached
+    :class:`~repro.sanitize.sanitizer.Sanitizer`.  Everything attached
+    through the factory is swept once more at test teardown, so a test
+    that ends with latent corruption fails even if it never ran
+    another reference.
+
+The repo's ``tests/conftest.py`` builds a ``sanitized_machine``
+fixture on top of this factory (the tiny machine geometry lives with
+the tests, not the library).
+"""
+
+import pytest
+
+from repro.sanitize.sanitizer import Sanitizer
+
+__all__ = ["sanitizer"]
+
+
+@pytest.fixture
+def sanitizer():
+    """Factory fixture: attach sanitizers, sweep them at teardown."""
+    created = []
+
+    def _attach(obj, mode="full", **kwargs):
+        instance = Sanitizer(mode=mode, **kwargs)
+        instance.attach(obj)
+        created.append(instance)
+        return instance
+
+    yield _attach
+    for instance in created:
+        instance.check_now()
+        instance.detach()

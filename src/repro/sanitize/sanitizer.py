@@ -1,0 +1,309 @@
+"""The runtime sanitizer: attach, instrument, and check.
+
+A :class:`Sanitizer` watches live simulator objects and validates the
+invariant catalogue in :mod:`repro.sanitize.checks` as the simulation
+runs.  Three modes trade coverage for overhead:
+
+``full``
+    Every reference is checked: the instrumented stream validates the
+    cache line each reference touched (and, on a multiprocessor bus,
+    the global ownership of the touched block) immediately after the
+    hot loop processed it, plus a full sweep of every registered
+    structure at stream end (and every ``sweep_interval`` references
+    when set).  Under 3x slowdown on paper-scale runs.
+
+``sampled``
+    One reference in ``sample_interval`` is spot-checked and a full
+    sweep runs at stream end.  The access stream is consumed in
+    ``sample_interval``-sized slices so the hot loop keeps its batch
+    speed; overhead is a few percent.
+
+``epoch``
+    A full sweep at the end of each ``run()`` call only.  Suitable for
+    leaving permanently enabled in tests.
+
+Attachment is per-object: a whole :class:`SpurMachine` or
+:class:`SmpSystem` (instrumenting its reference loop), or a bare
+:class:`VirtualCache`, :class:`SnoopyBus`, or
+:class:`VirtualMemorySystem` for targeted checking via
+:meth:`Sanitizer.check_now`.  In full mode a bare cache additionally
+gets its ``fill``/``invalidate`` mutators wrapped so each mutation is
+validated as it happens.
+"""
+
+import itertools
+
+from repro.sanitize.checks import (
+    check_block_ownership,
+    check_bus_coherence,
+    check_cache_arrays,
+    check_dirty_policy,
+    check_line,
+    check_vm,
+)
+from repro.sanitize.violation import InvariantViolation
+
+MODES = ("full", "sampled", "epoch")
+
+
+class Sanitizer:
+    """Runtime invariant checker for the SPUR model.
+
+    Parameters
+    ----------
+    mode:
+        ``"full"``, ``"sampled"``, or ``"epoch"`` (see module docs).
+    sample_interval:
+        References between spot checks in sampled mode.
+    sweep_interval:
+        References between full sweeps in full mode (None sweeps only
+        at stream end).
+    """
+
+    def __init__(self, mode="full", sample_interval=4096,
+                 sweep_interval=None):
+        if mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {mode!r}"
+            )
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be positive")
+        self.mode = mode
+        self.sample_interval = sample_interval
+        self.sweep_interval = sweep_interval
+        self.caches = []
+        self.buses = []
+        self.vms = []
+        self.machines = []
+        self.references_seen = 0
+        self.line_checks = 0
+        self.sweeps = 0
+        self._wrapped = []
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, obj):
+        """Register a simulator object; returns self for chaining."""
+        # Duck-typed dispatch so facades (SmpSystem stands in for a
+        # machine) and test doubles attach without inheritance.
+        if hasattr(obj, "cpus"):          # SmpSystem
+            self._add(self.machines, obj)
+            self._add(self.buses, obj.bus)
+            self._add(self.vms, obj.vm)
+            for cpu in obj.cpus:
+                self._wrap_machine(cpu)
+        elif hasattr(obj, "run") and hasattr(obj, "cache"):
+            # SpurMachine; prefer the SMP facade when it has one so
+            # page-granularity checks cover the whole coherence domain.
+            self._add(self.machines, obj.system or obj)
+            self._add(self.buses, obj.bus)
+            self._add(self.vms, obj.vm)
+            self._wrap_machine(obj)
+        elif hasattr(obj, "broadcast"):   # SnoopyBus
+            self._add(self.buses, obj)
+        elif hasattr(obj, "frame_table"):  # VirtualMemorySystem
+            self._add(self.vms, obj)
+        elif hasattr(obj, "tags") and hasattr(obj, "probe"):
+            self._add(self.caches, obj)   # bare VirtualCache
+            if self.mode == "full":
+                self._wrap_cache(obj)
+        else:
+            raise TypeError(
+                f"cannot attach {type(obj).__name__}; expected a "
+                f"machine, SMP system, cache, bus, or VM system"
+            )
+        return self
+
+    def detach(self):
+        """Restore every method this sanitizer wrapped."""
+        for obj, name, original in reversed(self._wrapped):
+            setattr(obj, name, original)
+        self._wrapped.clear()
+
+    @staticmethod
+    def _add(registry, obj):
+        if all(existing is not obj for existing in registry):
+            registry.append(obj)
+
+    # -- whole-state sweep -----------------------------------------------
+
+    def _all_caches(self):
+        seen = []
+        for cache in self.caches:
+            self._add(seen, cache)
+        for bus in self.buses:
+            for cache in bus.caches:
+                self._add(seen, cache)
+        for machine in self.machines:
+            for cache in machine.caches():
+                self._add(seen, cache)
+        return seen
+
+    def check_now(self, ref_index=None):
+        """Sweep every registered structure; raises on any breach."""
+        self.sweeps += 1
+        for cache in self._all_caches():
+            check_cache_arrays(cache, ref_index=ref_index)
+        for bus in self.buses:
+            check_bus_coherence(bus, ref_index=ref_index)
+        for machine in self.machines:
+            check_dirty_policy(machine, ref_index=ref_index)
+        for vm in self.vms:
+            check_vm(vm, ref_index=ref_index)
+
+    # -- machine instrumentation -----------------------------------------
+
+    def _wrap_machine(self, machine):
+        original = machine.run
+        if self.mode == "epoch":
+            def run(accesses):
+                count = original(accesses)
+                self.check_now(ref_index=self.references_seen + count)
+                self.references_seen += count
+                return count
+        elif self.mode == "sampled":
+            def run(accesses):
+                return self._run_sampled(machine, original, accesses)
+        else:
+            def run(accesses):
+                count = original(
+                    self._instrument_full(machine, accesses)
+                )
+                self.check_now(ref_index=self.references_seen)
+                return count
+        machine.run = run
+        self._wrapped.append((machine, "run", original))
+
+    def _run_sampled(self, machine, original, accesses):
+        """Feed the hot loop whole slices, spot-checking between them."""
+        cache = machine.cache
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
+        iterator = iter(accesses)
+        interval = self.sample_interval
+        count = 0
+        while True:
+            batch = list(itertools.islice(iterator, interval))
+            if not batch:
+                break
+            count += original(batch)
+            self.references_seen += len(batch)
+            vaddr = batch[-1][1]
+            check_line(
+                cache,
+                (vaddr >> block_bits) & index_mask,
+                ref_index=self.references_seen - 1,
+            )
+            self.line_checks += 1
+        self.check_now(ref_index=self.references_seen)
+        return count
+
+    def _instrument_full(self, machine, accesses):
+        """Yield references, validating each one's footprint.
+
+        The check for reference *n* runs when the hot loop pulls
+        reference *n+1* — i.e. immediately after the loop finished
+        processing *n* — and the stream-end sweep covers the last one.
+        The common case is inlined: a handful of list indexings decide
+        legality, and only an anomaly pays for the full diagnostic in
+        :func:`check_line`.
+        """
+        cache = machine.cache
+        valid = cache.valid
+        tags = cache.tags
+        line_vaddr = cache.line_vaddr
+        prot = cache.prot
+        block_dirty = cache.block_dirty
+        state = cache.state
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
+        tag_shift = cache.tag_shift
+        bus = machine.bus
+        multi = len(bus.caches) > 1
+        block_mask = ~((1 << block_bits) - 1)
+        sweep_interval = self.sweep_interval
+        checked = 0
+        try:
+            for ref in accesses:
+                yield ref
+                # The hot loop has fully processed `ref` by now.
+                vaddr = ref[1]
+                index = (vaddr >> block_bits) & index_mask
+                if valid[index]:
+                    ok = (
+                        state[index] != 0
+                        and tags[index] == line_vaddr[index] >> tag_shift
+                        and (not block_dirty[index]
+                             or state[index] >= 2)
+                        and 0 <= prot[index] <= 3
+                    )
+                else:
+                    ok = state[index] == 0 and not block_dirty[index]
+                checked += 1
+                if not ok:
+                    self.references_seen += checked
+                    checked = 0
+                    check_line(
+                        cache, index,
+                        ref_index=self.references_seen - 1,
+                    )
+                if multi:
+                    check_block_ownership(
+                        bus, vaddr & block_mask,
+                        ref_index=self.references_seen + checked - 1,
+                    )
+                if sweep_interval and not (
+                    (self.references_seen + checked) % sweep_interval
+                ):
+                    self.check_now(
+                        ref_index=self.references_seen + checked
+                    )
+        finally:
+            self.references_seen += checked
+            self.line_checks += checked
+
+    # -- bare-cache instrumentation --------------------------------------
+
+    def _wrap_cache(self, cache):
+        sanitizer = self
+
+        original_fill = cache.fill
+
+        def fill(vaddr, protection, page_dirty, by_write,
+                 holds_pte=False):
+            index, cycles = original_fill(
+                vaddr, protection, page_dirty, by_write,
+                holds_pte=holds_pte,
+            )
+            check_line(cache, index)
+            sanitizer.line_checks += 1
+            return index, cycles
+
+        original_invalidate = cache.invalidate
+
+        def invalidate(index, write_back=True):
+            cycles = original_invalidate(index, write_back=write_back)
+            check_line(cache, index)
+            sanitizer.line_checks += 1
+            return cycles
+
+        cache.fill = fill
+        cache.invalidate = invalidate
+        self._wrapped.append((cache, "fill", original_fill))
+        self._wrapped.append((cache, "invalidate", original_invalidate))
+
+    def __repr__(self):
+        return (
+            f"Sanitizer(mode={self.mode!r}, "
+            f"{len(self._all_caches())} caches, "
+            f"{self.references_seen} refs seen, "
+            f"{self.sweeps} sweeps)"
+        )
+
+
+def attach(obj, mode="full", **kwargs):
+    """Convenience: build a :class:`Sanitizer` and attach ``obj``."""
+    return Sanitizer(mode=mode, **kwargs).attach(obj)
+
+
+__all__ = ["Sanitizer", "InvariantViolation", "MODES", "attach"]

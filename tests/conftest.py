@@ -9,6 +9,7 @@ code paths as the full configurations.
 import pytest
 
 from repro.common.params import CacheGeometry, FaultTiming
+from repro.sanitize.pytest_plugin import sanitizer  # noqa: F401
 from repro.machine.config import MachineConfig
 from repro.machine.simulator import SpurMachine
 from repro.vm.segments import AddressSpaceMap, ProcessAddressSpace, RegionKind
@@ -81,4 +82,19 @@ def machine(space_and_regions):
     space_map, regions = space_and_regions
     m = make_machine(space_map)
     m.test_regions = regions
+    return m
+
+
+@pytest.fixture
+def sanitized_machine(space_and_regions, sanitizer):
+    """A tiny machine running under the full-mode invariant sanitizer.
+
+    Every reference the test pushes through ``run()`` is checked, and
+    the teardown sweep (from the ``sanitizer`` factory fixture) fails
+    the test if it left latent corruption behind.
+    """
+    space_map, regions = space_and_regions
+    m = make_machine(space_map)
+    m.test_regions = regions
+    m.sanitizer = sanitizer(m, mode="full")
     return m

@@ -90,7 +90,19 @@ class TestPlanning:
         )
         assert modes == (3,)
 
+    def test_every_event_is_measurable_in_some_mode(self):
+        # The segfifo extension events ride in mode 2's spare
+        # registers, so the full taxonomy is now mode-covered.
+        campaign = make_campaign()
+        for event in Event:
+            assert campaign.runs_needed_for([event])
+
     def test_unmeasurable_event_rejected(self):
+        import enum
+
+        class PhantomEvent(enum.IntEnum):
+            NOT_ON_THE_CHIP = 999
+
         campaign = make_campaign()
         with pytest.raises(ValueError):
-            campaign.runs_needed_for([Event.PAGE_DEACTIVATE])
+            campaign.runs_needed_for([PhantomEvent.NOT_ON_THE_CHIP])

@@ -1,0 +1,250 @@
+"""Each lint rule fires on a crafted negative and stays quiet on the
+sanctioned equivalent — plus the acceptance check that the repo at
+HEAD is clean.
+"""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import Finding, LintConfig, run_lint
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def write(directory, name, source):
+    path = directory / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def findings_for(rule, paths, config):
+    return [f for f in run_lint(paths, config) if f.rule == rule]
+
+
+@pytest.fixture
+def config():
+    return LintConfig().replace(hot_loops=("Machine.run",))
+
+
+class TestR001HotLoopPurity:
+    def test_fires_on_dirty_loop(self, tmp_path, config):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run(self, accesses):
+                    total = 0
+                    for ref in accesses:
+                        self.cache.touch(ref)
+                        squares = [r * r for r in (1, 2)]
+                        table = {}
+                    return total
+            """)
+        found = findings_for("R001", [path], config)
+        messages = [f.message for f in found]
+        assert len(found) == 3
+        assert any("attribute call" in m for m in messages)
+        assert any("comprehension" in m for m in messages)
+        assert any("dict literal" in m for m in messages)
+
+    def test_quiet_on_prebound_loop(self, tmp_path, config):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run(self, accesses):
+                    touch = self.cache.touch
+                    table = {}
+                    total = 0
+                    for ref in accesses:
+                        total += touch(ref)
+                    return total
+            """)
+        assert findings_for("R001", [path], config) == []
+
+    def test_other_functions_unconstrained(self, tmp_path, config):
+        path = write(tmp_path, "cold.py", """\
+            class Machine:
+                def report(self, rows):
+                    for row in rows:
+                        self.sink.emit([row])
+            """)
+        assert findings_for("R001", [path], config) == []
+
+    def test_allowlist_suppresses_named_calls(self, tmp_path, config):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run(self, accesses):
+                    for ref in accesses:
+                        self.cache.touch(ref)
+            """)
+        lenient = config.replace(
+            hot_loop_attr_allowlist=frozenset({"touch"})
+        )
+        assert findings_for("R001", [path], lenient) == []
+
+    def test_while_test_is_hot(self, tmp_path, config):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run(self, accesses):
+                    while self.queue.pending():
+                        pass
+            """)
+        assert len(findings_for("R001", [path], config)) == 1
+
+
+class TestR002TagArrayWrites:
+    def test_fires_outside_sanctioned_writers(self, tmp_path, config):
+        path = write(tmp_path, "rogue.py", """\
+            def poke(cache, index):
+                cache.valid[index] = False
+                cache.state[index] |= 1
+            """)
+        found = findings_for("R002", [path], config)
+        assert len(found) == 2
+        assert all("parallel tag array" in f.message for f in found)
+
+    def test_cache_module_writes_anything(self, tmp_path, config):
+        path = write(tmp_path, "cache.py", """\
+            def fill(self, index):
+                self.valid[index] = True
+                self.tags[index] = 7
+            """)
+        assert findings_for("R002", [path], config) == []
+
+    def test_partial_sanction_is_field_scoped(self, tmp_path, config):
+        path = write(tmp_path, "simulator.py", """\
+            def hit(cache, index):
+                cache.block_dirty[index] = True
+                cache.tags[index] = 9
+            """)
+        found = findings_for("R002", [path], config)
+        assert len(found) == 1
+        assert ".tags" in found[0].message
+
+    def test_scalar_attributes_ignored(self, tmp_path, config):
+        path = write(tmp_path, "records.py", """\
+            def invalidate(pte):
+                pte.valid = False
+                pte.state = "gone"
+            """)
+        assert findings_for("R002", [path], config) == []
+
+
+EVENTS_FIXTURE = """\
+    import enum
+
+    class Event(enum.IntEnum):
+        ALPHA = 0
+        BETA = 1
+        GAMMA = 2
+
+    MODE_SETS = {
+        0: (Event.ALPHA, Event.BETA),
+    }
+    """
+
+
+class TestR003EventExhaustiveness:
+    def test_fires_on_unmapped_and_dead_events(self, tmp_path, config):
+        write(tmp_path, "events.py", EVENTS_FIXTURE)
+        write(tmp_path, "user.py", """\
+            from events import Event
+
+            def tally(counters, n):
+                counters.increment(Event.ALPHA)
+                counters.increment(Event.GAMMA, n)
+            """)
+        found = findings_for("R003", [str(tmp_path)], config)
+        messages = " | ".join(f.message for f in found)
+        assert len(found) == 2
+        assert "Event.GAMMA is not assigned to any MODE_SETS" in messages
+        assert "Event.BETA is never passed to increment()" in messages
+
+    def test_quiet_when_exhaustive(self, tmp_path, config):
+        write(tmp_path, "events.py", """\
+            import enum
+
+            class Event(enum.IntEnum):
+                ALPHA = 0
+
+            MODE_SETS = {0: (Event.ALPHA,)}
+            """)
+        write(tmp_path, "user.py", """\
+            def tally(counters):
+                counters.increment(Event.ALPHA)
+            """)
+        assert findings_for("R003", [str(tmp_path)], config) == []
+
+    def test_skipped_without_events_module(self, tmp_path, config):
+        path = write(tmp_path, "plain.py", "x = 1\n")
+        assert findings_for("R003", [path], config) == []
+
+
+class TestR004EventDocs:
+    def test_fires_on_undocumented_event(self, tmp_path, config):
+        write(tmp_path, "events.py", EVENTS_FIXTURE)
+        doc = tmp_path / "events.md"
+        doc.write_text("| ALPHA | ... |\n| BETA | ... |\n")
+        documented = config.replace(events_doc=str(doc))
+        found = findings_for("R004", [str(tmp_path)], documented)
+        assert len(found) == 1
+        assert "Event.GAMMA is not mentioned" in found[0].message
+
+    def test_fires_on_missing_doc(self, tmp_path, config):
+        write(tmp_path, "events.py", EVENTS_FIXTURE)
+        missing = config.replace(events_doc="no/such/doc.md")
+        found = findings_for("R004", [str(tmp_path)], missing)
+        assert len(found) == 1
+        assert "not found" in found[0].message
+
+    def test_quiet_when_documented(self, tmp_path, config):
+        write(tmp_path, "events.py", EVENTS_FIXTURE)
+        doc = tmp_path / "events.md"
+        doc.write_text("ALPHA BETA GAMMA\n")
+        documented = config.replace(events_doc=str(doc))
+        assert findings_for("R004", [str(tmp_path)], documented) == []
+
+
+class TestEngine:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def f(:\n")
+        found = run_lint([path])
+        assert [f.rule for f in found] == ["E000"]
+
+    def test_findings_sorted_and_rendered(self, tmp_path, config):
+        path = write(tmp_path, "rogue.py", """\
+            def poke(cache, index):
+                cache.state[index] = 3
+            """)
+        found = run_lint([path], config)
+        assert found[0].render() == (
+            f"{path}:2: R002 write to parallel tag array `.state` "
+            f"outside its sanctioned writers; route the update "
+            f"through VirtualCache so the nine arrays stay in "
+            f"lock-step"
+        )
+
+    def test_finding_is_hashable_record(self):
+        finding = Finding("R999", "x.py", 3, "msg")
+        assert finding.render() == "x.py:3: R999 msg"
+        assert hash(finding)
+
+
+class TestRepoIsClean:
+    def test_src_passes_every_rule(self):
+        assert run_lint([str(REPO_ROOT / "src")]) == []
+
+    def test_cli_rejects_missing_target(self, capsys):
+        assert lint_main(["no/such/dir"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        assert lint_main([str(REPO_ROOT / "src")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+        path = write(tmp_path, "rogue.py", """\
+            def poke(cache, index):
+                cache.valid[index] = False
+            """)
+        assert lint_main([path]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "1 finding" in out
