@@ -12,30 +12,42 @@ import pytest
 from repro.analysis.charts import line_plot
 from repro.counters.events import Event
 from repro.machine.config import scaled_config
-from repro.machine.runner import ExperimentRunner
 from repro.workloads.slc import SlcWorkload
 
-from conftest import bench_scale, once, shape_asserts_enabled
+from conftest import (
+    bench_runner,
+    bench_scale,
+    bench_workers,
+    once,
+    shape_asserts_enabled,
+)
 
 #: Memory ratios swept (the paper's points are 40, 48, 64).
 RATIOS = (36, 40, 44, 48, 56, 64, 72)
 
 
 def run_sweep():
-    runner = ExperimentRunner()
+    runner = bench_runner()
     scale = min(bench_scale(), 1.0) * 0.5
+    grid = [
+        (policy, ratio)
+        for policy in ("MISS", "REF", "NOREF")
+        for ratio in RATIOS
+    ]
+    outcomes = runner.run_many(
+        [
+            (scaled_config(memory_ratio=ratio,
+                           reference_policy=policy),
+             SlcWorkload(length_scale=scale), 0, None)
+            for policy, ratio in grid
+        ],
+        workers=bench_workers(),
+    )
     series = {}
-    for policy in ("MISS", "REF", "NOREF"):
-        data = []
-        for ratio in RATIOS:
-            config = scaled_config(
-                memory_ratio=ratio, reference_policy=policy
-            )
-            result = runner.run(
-                config, SlcWorkload(length_scale=scale)
-            )
-            data.append((ratio, result.page_ins))
-        series[policy] = data
+    for (policy, ratio), result in zip(grid, outcomes):
+        series.setdefault(policy, []).append(
+            (ratio, result.page_ins)
+        )
     chart = line_plot(
         series, width=56, height=14,
         title="SLC page-ins vs memory size (ratio x 16 KB cache)",

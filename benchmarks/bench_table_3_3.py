@@ -12,7 +12,13 @@ import pytest
 
 from repro.analysis.experiments import run_table_3_3
 
-from conftest import bench_scale, once, shape_asserts_enabled
+from conftest import (
+    bench_runner,
+    bench_scale,
+    bench_workers,
+    once,
+    shape_asserts_enabled,
+)
 
 
 @pytest.fixture(scope="module")
@@ -21,7 +27,8 @@ def rows():
 
     def compute():
         result["rows"], result["table"] = run_table_3_3(
-            length_scale=bench_scale()
+            length_scale=bench_scale(), runner=bench_runner(),
+            workers=bench_workers(),
         )
         return result["rows"]
 

@@ -15,7 +15,13 @@ import pytest
 
 from repro.analysis.experiments import run_table_3_5
 
-from conftest import bench_scale, once, shape_asserts_enabled
+from conftest import (
+    bench_runner,
+    bench_scale,
+    bench_workers,
+    once,
+    shape_asserts_enabled,
+)
 
 
 def test_table_3_5(benchmark, record_result):
@@ -23,7 +29,8 @@ def test_table_3_5(benchmark, record_result):
 
     def compute():
         result["rows"], result["table"] = run_table_3_5(
-            length_scale=bench_scale()
+            length_scale=bench_scale(), runner=bench_runner(),
+            workers=bench_workers(),
         )
         return result["rows"]
 

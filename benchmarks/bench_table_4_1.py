@@ -21,7 +21,14 @@ import pytest
 
 from repro.analysis.experiments import run_table_4_1
 
-from conftest import bench_reps, bench_scale, once, shape_asserts_enabled
+from conftest import (
+    bench_reps,
+    bench_runner,
+    bench_scale,
+    bench_workers,
+    once,
+    shape_asserts_enabled,
+)
 
 
 def test_table_4_1(benchmark, record_result):
@@ -30,6 +37,7 @@ def test_table_4_1(benchmark, record_result):
     def compute():
         result["rows"], result["table"] = run_table_4_1(
             length_scale=bench_scale(), repetitions=bench_reps(),
+            runner=bench_runner(), workers=bench_workers(),
         )
         return result["rows"]
 

@@ -12,6 +12,12 @@ Environment knobs:
     pass with weaker statistics.
 ``REPRO_BENCH_REPS``
     Repetitions for the Table 4.1 matrix (default 2; the paper used 5).
+``REPRO_BENCH_WORKERS``
+    Worker processes for the experiment matrices (default 1 = serial;
+    results are bit-identical at any value, see docs/parallel.md).
+``REPRO_BENCH_CACHE``
+    Result-cache directory; unset disables caching.  With a warm
+    cache a bench re-run simulates only changed cells.
 """
 
 import os
@@ -28,6 +34,23 @@ def bench_scale():
 
 def bench_reps():
     return int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+
+def bench_workers():
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def bench_runner():
+    """An ExperimentRunner honouring ``REPRO_BENCH_CACHE``."""
+    from repro.machine.runner import ExperimentRunner
+
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = None
+    if cache_dir:
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(cache_dir)
+    return ExperimentRunner(cache=cache)
 
 
 def shape_asserts_enabled():

@@ -39,6 +39,7 @@ from repro.machine import (
     paper_config,
     scaled_config,
 )
+from repro.parallel import ResultCache, RunCell, execute_cells
 from repro.policies import (
     EventCounts,
     ExcessFaultModel,
@@ -71,7 +72,10 @@ __all__ = [
     "PerformanceCounters",
     "Protection",
     "ReproError",
+    "ResultCache",
+    "RunCell",
     "RunResult",
+    "execute_cells",
     "SmpSystem",
     "SlcWorkload",
     "SpurMachine",

@@ -73,7 +73,7 @@ class Table33Row:
 
 
 def run_table_3_3(length_scale=1.0, scale=8, runner=None, seed=0,
-                  max_references=None):
+                  max_references=None, workers=1):
     """Measure the Table 3.3 event frequencies.
 
     One run per (workload, memory) point with the SPUR dirty-bit
@@ -81,7 +81,7 @@ def run_table_3_3(length_scale=1.0, scale=8, runner=None, seed=0,
     which is what the paper measured.  Returns ``(rows, table)``.
     """
     runner = runner or ExperimentRunner()
-    rows = []
+    points = []
     for name, workload in _standard_workloads(length_scale):
         for memory_mb, ratio in MEMORY_POINTS:
             config = scaled_config(
@@ -90,9 +90,18 @@ def run_table_3_3(length_scale=1.0, scale=8, runner=None, seed=0,
             )
             # Recipes are reusable; the runner instantiates a fresh
             # stream (and space map) per run.
-            result = runner.run(config, workload, seed=seed,
-                                max_references=max_references)
-            rows.append(Table33Row.from_run(name, memory_mb, result))
+            points.append((name, memory_mb, config, workload))
+    results = runner.run_many(
+        [
+            (config, workload, seed, max_references)
+            for _, _, config, workload in points
+        ],
+        workers=workers,
+    )
+    rows = [
+        Table33Row.from_run(name, memory_mb, result)
+        for (name, memory_mb, _, _), result in zip(points, results)
+    ]
     return rows, render_table_3_3(rows)
 
 
@@ -211,18 +220,21 @@ class Table35Row:
 
 
 def run_table_3_5(length_scale=1.0, scale=8, runner=None, seed=0,
-                  profiles=DEV_SYSTEM_PROFILES, max_references=None):
+                  profiles=DEV_SYSTEM_PROFILES, max_references=None,
+                  workers=1):
     """Simulate the six development-system profiles."""
     runner = runner or ExperimentRunner()
-    rows = []
+    specs = []
     for profile in profiles:
         config = scaled_config(
             memory_ratio=profile.memory_ratio, scale=scale,
             dirty_policy="SPUR", reference_policy="MISS",
         )
         workload = DevSystemWorkload(profile, length_scale=length_scale)
-        result = runner.run(config, workload, seed=seed,
-                            max_references=max_references)
+        specs.append((config, workload, seed, max_references))
+    results = runner.run_many(specs, workers=workers)
+    rows = []
+    for profile, result in zip(profiles, results):
         rows.append(Table35Row(
             hostname=profile.hostname,
             memory_mb=profile.memory_mb,
@@ -284,7 +296,8 @@ class Table41Row:
 
 
 def run_table_4_1(length_scale=1.0, scale=8, repetitions=3,
-                  runner=None, randomize=True, max_references=None):
+                  runner=None, randomize=True, max_references=None,
+                  workers=1):
     """Run the full reference-bit policy matrix.
 
     Repetitions use distinct workload seeds and (like the paper's
@@ -309,7 +322,7 @@ def run_table_4_1(length_scale=1.0, scale=8, repetitions=3,
                 ))
     matrix = runner.run_matrix(
         points, repetitions=repetitions, randomize=randomize,
-        max_references=max_references,
+        max_references=max_references, workers=workers,
     )
 
     rows = []

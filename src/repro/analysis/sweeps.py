@@ -68,7 +68,7 @@ class SweepDriver:
                 config, **{field: value}
             )
 
-    def run(self, variants=None):
+    def run(self, variants=None, workers=1):
         """Execute the sweep.
 
         Parameters
@@ -78,21 +78,30 @@ class SweepDriver:
             separate series per label (e.g. one per policy); the
             transform is applied after the swept field.  Defaults to
             a single unlabelled series.
+        workers:
+            Worker processes for the independent sweep points (see
+            :mod:`repro.parallel`); 1 keeps the serial path.
 
         Returns ``{label: {value: RunResult}}``.
         """
         variants = variants or {"": lambda config: config}
+        grid = [
+            (label, value, transform(
+                self._apply(self.base_config, value)
+            ))
+            for label, transform in variants.items()
+            for value in self.values
+        ]
+        outcomes = self.runner.run_many(
+            [
+                (config, self.workload_factory(), self.seed, None)
+                for _, _, config in grid
+            ],
+            workers=workers,
+        )
         results = {}
-        for label, transform in variants.items():
-            series = {}
-            for value in self.values:
-                config = transform(
-                    self._apply(self.base_config, value)
-                )
-                series[value] = self.runner.run(
-                    config, self.workload_factory(), seed=self.seed
-                )
-            results[label] = series
+        for (label, value, _), outcome in zip(grid, outcomes):
+            results.setdefault(label, {})[value] = outcome
         return results
 
     def tabulate(self, results, metric="page_ins"):

@@ -9,6 +9,7 @@
         --dirty FAULT --ref MISS
     python -m repro formats              # Figure 3.2 bit layouts
     python -m repro all --out-dir out/   # everything, to files
+    python -m repro campaign --workers 4 --cache-dir .repro-cache
 
 All commands print the rendered artefact; ``--out`` / ``--out-dir``
 additionally write it to disk.  Everything is seeded and reproducible.
@@ -35,6 +36,25 @@ from repro.workloads.slc import SlcWorkload
 from repro.workloads.workload1 import Workload1
 
 TABLE_CHOICES = ("2.1", "3.1", "3.2", "3.3", "3.4", "3.5", "4.1")
+
+
+def _runner_from_args(args):
+    """Build the ExperimentRunner the parallel/cache flags describe."""
+    cache = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir and not getattr(args, "no_cache", False):
+        from repro.parallel import ResultCache
+
+        cache = ResultCache(cache_dir)
+    return ExperimentRunner(
+        cache=cache, sanitize=getattr(args, "sanitize", None)
+    )
+
+
+def _report_cache(runner):
+    """Print cache traffic after a cached command, if any."""
+    if runner.cache is not None:
+        print(runner.cache.stats_line(), file=sys.stderr)
 
 
 def _emit(text, out=None):
@@ -108,29 +128,41 @@ def cmd_table(args):
             table.add_row(name, getattr(times, name))
         _emit(table.render(), args.out)
     elif number == "3.3":
+        runner = _runner_from_args(args)
         _, table = run_table_3_3(length_scale=args.length,
-                                 seed=args.seed)
+                                 seed=args.seed, runner=runner,
+                                 workers=args.workers)
         _emit(table.render(), args.out)
+        _report_cache(runner)
     elif number == "3.4":
         if args.source == "paper":
             _, table = build_table_3_4(
                 exclude_zero_fill=not args.include_zero_fill
             )
         else:
+            runner = _runner_from_args(args)
             rows, _ = run_table_3_3(length_scale=args.length,
-                                    seed=args.seed)
+                                    seed=args.seed, runner=runner,
+                                    workers=args.workers)
             _, table = build_table_3_4(
                 rows, exclude_zero_fill=not args.include_zero_fill
             )
+            _report_cache(runner)
         _emit(table.render(), args.out)
     elif number == "3.5":
+        runner = _runner_from_args(args)
         _, table = run_table_3_5(length_scale=args.length,
-                                 seed=args.seed)
+                                 seed=args.seed, runner=runner,
+                                 workers=args.workers)
         _emit(table.render(), args.out)
+        _report_cache(runner)
     elif number == "4.1":
+        runner = _runner_from_args(args)
         _, table = run_table_4_1(length_scale=args.length,
-                                 repetitions=args.reps)
+                                 repetitions=args.reps, runner=runner,
+                                 workers=args.workers)
         _emit(table.render(), args.out)
+        _report_cache(runner)
     return 0
 
 
@@ -184,19 +216,66 @@ def cmd_all(args):
     """Regenerate the main tables into a directory."""
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    runner = _runner_from_args(args)
+    workers = args.workers
     jobs = (
         ("table_3_3", lambda: run_table_3_3(
-            length_scale=args.length)[1]),
+            length_scale=args.length, runner=runner,
+            workers=workers)[1]),
         ("table_3_4_paper", lambda: build_table_3_4()[1]),
         ("table_3_5", lambda: run_table_3_5(
-            length_scale=args.length)[1]),
+            length_scale=args.length, runner=runner,
+            workers=workers)[1]),
         ("table_4_1", lambda: run_table_4_1(
-            length_scale=args.length, repetitions=args.reps)[1]),
+            length_scale=args.length, repetitions=args.reps,
+            runner=runner, workers=workers)[1]),
     )
     for name, job in jobs:
         print(f"regenerating {name} ...", file=sys.stderr)
         table = job()
         (out_dir / f"{name}.txt").write_text(table.render() + "\n")
+    _report_cache(runner)
+    print(f"artefacts in {out_dir}", file=sys.stderr)
+    return 0
+
+
+def cmd_campaign(args):
+    """The full measured-table campaign, parallel and cached.
+
+    Runs Tables 3.3, 3.4 (from the measured 3.3 counts), 3.5, and 4.1
+    through one shared runner and cache, fanning the independent cells
+    over ``--workers`` processes.  A warm cache re-runs the whole
+    campaign without simulating a single cell.
+    """
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runner = _runner_from_args(args)
+
+    print(f"table 3.3 ({args.workers} workers) ...", file=sys.stderr)
+    rows_33, table_33 = run_table_3_3(
+        length_scale=args.length, seed=args.seed, runner=runner,
+        workers=args.workers,
+    )
+    _, table_34 = build_table_3_4(rows_33)
+    print("table 3.5 ...", file=sys.stderr)
+    _, table_35 = run_table_3_5(
+        length_scale=args.length, seed=args.seed, runner=runner,
+        workers=args.workers,
+    )
+    print("table 4.1 ...", file=sys.stderr)
+    _, table_41 = run_table_4_1(
+        length_scale=args.length, repetitions=args.reps,
+        runner=runner, workers=args.workers,
+    )
+    artefacts = (
+        ("table_3_3", table_33),
+        ("table_3_4_measured", table_34),
+        ("table_3_5", table_35),
+        ("table_4_1", table_41),
+    )
+    for name, table in artefacts:
+        (out_dir / f"{name}.txt").write_text(table.render() + "\n")
+    _report_cache(runner)
     print(f"artefacts in {out_dir}", file=sys.stderr)
     return 0
 
@@ -304,6 +383,17 @@ def build_parser():
             p.add_argument("--reps", type=int, default=2,
                            help="repetitions (paper used 5)")
 
+    def parallel_opts(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for independent runs "
+                            "(default 1 = serial; results are "
+                            "bit-identical either way)")
+        p.add_argument("--cache-dir",
+                       help="reuse results cached here; only changed "
+                            "(config, workload, seed) cells simulate")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir for this invocation")
+
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", choices=TABLE_CHOICES)
     p_table.add_argument("--source", choices=("paper", "measured"),
@@ -312,6 +402,7 @@ def build_parser():
     p_table.add_argument("--include-zero-fill", action="store_true",
                          help="keep N_zfod in the 3.4 models")
     common(p_table, reps=True)
+    parallel_opts(p_table)
     p_table.set_defaults(func=cmd_table)
 
     p_run = sub.add_parser("run", help="one simulation run")
@@ -336,7 +427,21 @@ def build_parser():
     p_all = sub.add_parser("all", help="regenerate the main tables")
     p_all.add_argument("--out-dir", default="results")
     common(p_all, reps=True)
+    parallel_opts(p_all)
     p_all.set_defaults(func=cmd_all)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="the full measured-table campaign, parallel and cached",
+    )
+    p_campaign.add_argument("--out-dir", default="results")
+    p_campaign.add_argument(
+        "--sanitize", choices=("full", "sampled", "epoch"),
+        help="run every cell under the invariant sanitizer",
+    )
+    common(p_campaign, reps=True)
+    parallel_opts(p_campaign)
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_report = sub.add_parser(
         "report",

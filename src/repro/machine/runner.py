@@ -5,10 +5,19 @@ discipline: each data point is a fresh machine (cold cache, empty
 memory) driven by a freshly instantiated workload; repetitions use
 distinct seeds; multi-point experiments can be order-randomised the
 way Section 4.2's five-repetition design was.
+
+Because every run is a pure function of (config, workload recipe,
+seed, reference cap), the multi-run entry points accept ``workers=N``
+to fan independent cells out over worker processes via
+:mod:`repro.parallel` — results are bit-identical to the serial path,
+only faster — and a :class:`~repro.parallel.cache.ResultCache` to
+skip cells whose inputs were already simulated.
 """
 
+import hashlib
 import time
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.common.rng import DeterministicRng
@@ -19,7 +28,13 @@ from repro.machine.simulator import SpurMachine
 
 @dataclass
 class RunResult:
-    """Everything measured during one simulation run."""
+    """Everything measured during one simulation run.
+
+    ``host_seconds`` is measurement *about* the host, not the
+    simulation: it is excluded from equality (``compare=False``) and
+    from cache serialisation so wall-clock noise can never fail a
+    result comparison or defeat a cache hit.
+    """
 
     workload: str
     config_name: str
@@ -35,7 +50,7 @@ class RunResult:
     zero_fills: int
     potentially_modified: int
     not_modified: int
-    host_seconds: float = 0.0
+    host_seconds: float = field(default=0.0, compare=False)
 
     @property
     def elapsed_seconds(self):
@@ -51,11 +66,55 @@ class RunResult:
         return self.events.get(event, 0)
 
 
-class ExperimentRunner:
-    """Builds machines and executes workload runs."""
+def mix_seed(master_seed, rep):
+    """Derive repetition *rep*'s run seed from *master_seed*.
 
-    def __init__(self, master_seed=1234):
+    SHA-256 based so the mapping is stable across platforms and
+    Python versions, and so nearby (master_seed, rep) pairs land far
+    apart in seed space.
+    """
+    digest = hashlib.sha256(
+        f"{master_seed}:{rep}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % (2 ** 63)
+
+
+class ExperimentRunner:
+    """Builds machines and executes workload runs.
+
+    Parameters
+    ----------
+    master_seed:
+        Seeds the execution-order shuffle of :meth:`run_matrix`, and —
+        only with ``mix_master_seed=True`` — the per-run seeds.
+    mix_master_seed:
+        By default (``False``) repetition ``rep`` runs with
+        ``seed=rep`` exactly as the original runner did, keeping every
+        golden result reproducible; two runners with different master
+        seeds therefore produce identical results.  Opt in to mix
+        ``master_seed`` into each per-run seed via :func:`mix_seed`
+        when independent replications of a whole experiment are
+        wanted.
+    cache:
+        Optional :class:`~repro.parallel.cache.ResultCache` consulted
+        by the multi-run entry points.
+    sanitize:
+        Optional :mod:`repro.sanitize` mode name; every run then
+        executes under an attached invariant sanitizer.
+    """
+
+    def __init__(self, master_seed=1234, mix_master_seed=False,
+                 cache=None, sanitize=None):
         self.master_seed = master_seed
+        self.mix_master_seed = mix_master_seed
+        self.cache = cache
+        self.sanitize = sanitize
+
+    def rep_seed(self, rep):
+        """The run seed used for repetition *rep*."""
+        if self.mix_master_seed:
+            return mix_seed(self.master_seed, rep)
+        return rep
 
     def run(self, config, workload, seed=0, max_references=None):
         """One cold-start run; returns a :class:`RunResult`.
@@ -74,12 +133,20 @@ class ExperimentRunner:
         """
         instance = workload.instantiate(config.page_bytes, seed=seed)
         machine = SpurMachine(config, instance.space_map)
+        sanitizer = None
+        if self.sanitize:
+            from repro.sanitize.sanitizer import Sanitizer
+
+            sanitizer = Sanitizer(mode=self.sanitize)
+            sanitizer.attach(machine)
         accesses = instance.accesses()
         if max_references is not None:
             accesses = _take(accesses, max_references)
         started = time.perf_counter()
         machine.run(accesses)
         host_seconds = time.perf_counter() - started
+        if sanitizer is not None:
+            sanitizer.check_now()
         swap_stats = machine.swap.stats
         return RunResult(
             workload=instance.name,
@@ -99,26 +166,69 @@ class ExperimentRunner:
             host_seconds=host_seconds,
         )
 
-    def run_repetitions(self, config, workload, repetitions=5,
-                        max_references=None):
-        """Independent repetitions with distinct seeds."""
-        return [
-            self.run(config, workload, seed=rep,
-                     max_references=max_references)
-            for rep in range(repetitions)
+    def run_many(self, specs, workers=1):
+        """Run ``(config, workload, seed, max_references)`` specs.
+
+        The building block the multi-run entry points (and
+        :class:`~repro.analysis.sweeps.SweepDriver`) share: resolves
+        each spec against the runner's cache, simulates misses over
+        ``workers`` processes, and returns results in spec order.
+        With ``workers=1`` and no cache this is exactly a loop over
+        :meth:`run`.
+        """
+        specs = list(specs)
+        if workers <= 1 and self.cache is None:
+            return [
+                self.run(config, workload, seed=seed,
+                         max_references=max_references)
+                for config, workload, seed, max_references in specs
+            ]
+        from repro.parallel import RunCell, execute_cells
+
+        cells = [
+            RunCell(config, workload, seed=seed,
+                    max_references=max_references,
+                    sanitize=self.sanitize)
+            for config, workload, seed, max_references in specs
         ]
+        return execute_cells(cells, workers=workers, cache=self.cache)
+
+    def run_repetitions(self, config, workload, repetitions=5,
+                        max_references=None, workers=1):
+        """Independent repetitions with distinct seeds."""
+        return self.run_many(
+            [
+                (config, workload, self.rep_seed(rep), max_references)
+                for rep in range(repetitions)
+            ],
+            workers=workers,
+        )
 
     def run_matrix(self, points, repetitions=1, randomize=True,
-                   max_references=None):
+                   max_references=None, workers=1):
         """Run a list of ``(label, config, workload)`` points.
+
+        Labels must be unique: duplicates would silently interleave
+        two points' repetitions under one key, so they raise
+        ``ValueError`` instead.
 
         With ``randomize`` the (point, repetition) cells execute in a
         shuffled order — the paper's randomised experiment design
         (Section 4.2) — which matters there for warm hardware and
         here only for honest wall-clock interleaving, but is kept for
         methodological fidelity.  Returns ``{label: [RunResult, ...]}``
-        with repetitions in seed order regardless of execution order.
+        with repetitions in seed order regardless of execution order
+        or ``workers`` count.
         """
+        label_counts = Counter(label for label, _, _ in points)
+        duplicates = [
+            label for label, count in label_counts.items() if count > 1
+        ]
+        if duplicates:
+            raise ValueError(
+                f"duplicate point labels in run_matrix: {duplicates!r};"
+                f" each point needs a unique label"
+            )
         cells = [
             (label, config, workload, rep)
             for label, config, workload in points
@@ -128,11 +238,15 @@ class ExperimentRunner:
             DeterministicRng(self.master_seed).shuffle(cells)
         results = {label: [None] * repetitions
                    for label, _, _ in points}
-        for label, config, workload, rep in cells:
-            results[label][rep] = self.run(
-                config, workload, seed=rep,
-                max_references=max_references,
-            )
+        outcomes = self.run_many(
+            [
+                (config, workload, self.rep_seed(rep), max_references)
+                for _, config, workload, rep in cells
+            ],
+            workers=workers,
+        )
+        for (label, _, _, rep), result in zip(cells, outcomes):
+            results[label][rep] = result
         return results
 
 

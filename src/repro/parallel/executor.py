@@ -1,0 +1,110 @@
+"""Multiprocess fan-out of independent simulation cells.
+
+One :class:`RunCell` is one cold-start simulation — the unit the
+experiment matrices are built from.  :func:`execute_cells` resolves
+each cell against an optional :class:`~repro.parallel.cache.ResultCache`,
+simulates the misses (serially, or over a pool of worker processes),
+and returns results in the order the cells were given.  Because every
+cell is fully determined by its inputs and cells share no state, the
+worker count changes wall-clock time only: the returned
+:class:`~repro.machine.runner.RunResult` list is bit-identical for any
+``workers`` value (``host_seconds``, which is excluded from result
+equality, is the lone per-host field).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.parallel.cache import CacheKeyError, cache_key
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """Inputs of one independent simulation run.
+
+    ``seed`` is the final per-run seed (any master-seed mixing happens
+    in :class:`~repro.machine.runner.ExperimentRunner` before cells
+    are built).  ``sanitize`` optionally names a
+    :mod:`repro.sanitize` mode to run the cell under; it is not part
+    of the cache key because the sanitizer observes without altering
+    results.
+    """
+
+    config: Any
+    workload: Any
+    seed: int = 0
+    max_references: Optional[int] = None
+    sanitize: Optional[str] = None
+
+
+def simulate_cell(cell):
+    """Run one cell from scratch; the process-pool work function.
+
+    Module-level (picklable) and self-contained: workers rebuild the
+    machine and workload instance from the cell's recipe, so nothing
+    leaks between cells regardless of which process runs them.
+    """
+    from repro.machine.runner import ExperimentRunner
+
+    runner = ExperimentRunner(sanitize=cell.sanitize)
+    return runner.run(
+        cell.config, cell.workload, seed=cell.seed,
+        max_references=cell.max_references,
+    )
+
+
+def execute_cells(cells, workers=1, cache=None):
+    """Execute *cells*, returning results in the given cell order.
+
+    Parameters
+    ----------
+    cells:
+        Iterable of :class:`RunCell`.
+    workers:
+        Process count; 1 simulates in-process (no pool is created).
+    cache:
+        Optional :class:`ResultCache`.  Hits skip simulation entirely;
+        misses are simulated then stored.  Cells whose inputs cannot
+        be canonically hashed (:class:`CacheKeyError`) are simulated
+        unconditionally and never stored — correctness first.
+    """
+    cells = list(cells)
+    results = [None] * len(cells)
+    keys = [None] * len(cells)
+    pending = []
+    for index, cell in enumerate(cells):
+        if cache is not None:
+            try:
+                keys[index] = cache_key(
+                    cell.config, cell.workload, cell.seed,
+                    cell.max_references,
+                )
+            except CacheKeyError:
+                keys[index] = None
+            if keys[index] is not None:
+                hit = cache.get(keys[index])
+                if hit is not None:
+                    results[index] = hit
+                    continue
+        pending.append(index)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            results[index] = simulate_cell(cells[index])
+    else:
+        pool_size = min(workers, len(pending))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            outcomes = pool.map(
+                simulate_cell, [cells[index] for index in pending]
+            )
+            for index, result in zip(pending, outcomes):
+                results[index] = result
+
+    if cache is not None:
+        # Stores happen in the parent, after the pool has drained, so
+        # concurrent workers never race on the cache directory.
+        for index in pending:
+            if keys[index] is not None:
+                cache.put(keys[index], results[index])
+    return results

@@ -80,7 +80,89 @@ class TestRepetitions:
         assert [r.seed for r in results] == [0, 1, 2]
 
 
+class TestHostSeconds:
+    def test_excluded_from_equality(self):
+        """Wall-clock noise must not fail result comparisons."""
+        runner = ExperimentRunner()
+        workload = SlcWorkload(length_scale=TINY_SCALE)
+        a = runner.run(quick_config(), workload, seed=3)
+        b = runner.run(quick_config(),
+                       SlcWorkload(length_scale=TINY_SCALE), seed=3)
+        # Identical simulations with (forced) different wall-clock
+        # timings still compare equal: host_seconds is compare=False.
+        import dataclasses
+        assert a == dataclasses.replace(b, host_seconds=999.0)
+
+
+class TestMasterSeedMixing:
+    def test_master_seed_alone_does_not_change_results(self):
+        """The documented default: golden results stay reproducible."""
+        a = ExperimentRunner(master_seed=1).run_repetitions(
+            quick_config(), SlcWorkload(length_scale=TINY_SCALE),
+            repetitions=2,
+        )
+        b = ExperimentRunner(master_seed=2).run_repetitions(
+            quick_config(), SlcWorkload(length_scale=TINY_SCALE),
+            repetitions=2,
+        )
+        assert a == b
+        assert [r.seed for r in a] == [0, 1]
+
+    def test_opt_in_mixing_differentiates_runners(self):
+        a = ExperimentRunner(
+            master_seed=1, mix_master_seed=True
+        ).run_repetitions(
+            quick_config(), SlcWorkload(length_scale=TINY_SCALE),
+            repetitions=2,
+        )
+        b = ExperimentRunner(
+            master_seed=2, mix_master_seed=True
+        ).run_repetitions(
+            quick_config(), SlcWorkload(length_scale=TINY_SCALE),
+            repetitions=2,
+        )
+        assert a != b
+        assert {r.seed for r in a}.isdisjoint(
+            {r.seed for r in b}
+        )
+
+    def test_mixing_is_stable_across_runners(self):
+        """Equal master seeds mix to equal per-run seeds."""
+        from repro.machine.runner import mix_seed
+        assert mix_seed(7, 0) == mix_seed(7, 0)
+        assert mix_seed(7, 0) != mix_seed(7, 1)
+        assert mix_seed(7, 0) != mix_seed(8, 0)
+
+
 class TestMatrix:
+    def test_duplicate_labels_rejected(self):
+        """Two points under one label used to silently collide: the
+        dict comprehension kept a single result list and the second
+        point's repetitions overwrote the first's.  Now it raises."""
+        runner = ExperimentRunner()
+        points = [
+            ("same", quick_config(),
+             SlcWorkload(length_scale=TINY_SCALE)),
+            ("same", quick_config(reference_policy="NOREF"),
+             SlcWorkload(length_scale=TINY_SCALE)),
+        ]
+        with pytest.raises(ValueError, match="duplicate point labels"):
+            runner.run_matrix(points, repetitions=1)
+
+    def test_old_silent_collision_shape(self):
+        """Proof of the old bug's shape: distinct configs under one
+        label can only produce one result list, so one point's data
+        is necessarily lost.  The ValueError above is what prevents
+        this from happening silently."""
+        points = [
+            ("same", quick_config(),
+             SlcWorkload(length_scale=TINY_SCALE)),
+            ("same", quick_config(reference_policy="NOREF"),
+             SlcWorkload(length_scale=TINY_SCALE)),
+        ]
+        # The old implementation's result dict: one slot for two points.
+        results = {label: [None] * 1 for label, _, _ in points}
+        assert len(results) == 1 < len(points)
     def test_randomised_matrix_returns_seed_order(self):
         runner = ExperimentRunner(master_seed=7)
         points = [

@@ -1,0 +1,159 @@
+"""Result-cache key derivation and hit/miss/invalidation behaviour."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.parallel import (
+    CACHE_FORMAT,
+    CacheKeyError,
+    ResultCache,
+    cache_key,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.parallel.cache import _canonical
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+TINY_SCALE = 0.004
+
+
+def tiny_run(seed=0):
+    return ExperimentRunner().run(
+        scaled_config(memory_ratio=40),
+        SlcWorkload(length_scale=TINY_SCALE),
+        seed=seed, max_references=2000,
+    )
+
+
+class TestCacheKey:
+    def test_stable_across_equal_inputs(self):
+        a = cache_key(scaled_config(memory_ratio=40),
+                      SlcWorkload(length_scale=0.5), 3, 1000)
+        b = cache_key(scaled_config(memory_ratio=40),
+                      SlcWorkload(length_scale=0.5), 3, 1000)
+        assert a == b
+
+    @pytest.mark.parametrize("change", [
+        lambda c, w, s, m: (c.with_memory(c.memory_bytes * 2), w, s, m),
+        lambda c, w, s, m: (c.with_policies(dirty="FAULT"), w, s, m),
+        lambda c, w, s, m: (c.with_policies(reference="NOREF"),
+                            w, s, m),
+        lambda c, w, s, m: (c, SlcWorkload(length_scale=0.25), s, m),
+        lambda c, w, s, m: (c, Workload1(length_scale=0.5), s, m),
+        lambda c, w, s, m: (c, w, s + 1, m),
+        lambda c, w, s, m: (c, w, s, 999),
+        lambda c, w, s, m: (c, w, s, None),
+    ])
+    def test_any_input_change_changes_the_key(self, change):
+        base = (scaled_config(memory_ratio=40),
+                SlcWorkload(length_scale=0.5), 3, 1000)
+        assert cache_key(*base) != cache_key(*change(*base))
+
+    def test_workload_class_distinguishes_equal_state(self):
+        """Two recipes with identical fields but different classes
+        must not share a key."""
+        slc = SlcWorkload(length_scale=0.5)
+        w1 = Workload1(length_scale=0.5)
+        config = scaled_config(memory_ratio=40)
+        assert cache_key(config, slc, 0) != cache_key(config, w1, 0)
+
+    def test_uncanonical_input_raises(self):
+        class Opaque:
+            pass
+
+        workload = SlcWorkload(length_scale=0.5)
+        workload.helper = Opaque()
+        with pytest.raises(CacheKeyError):
+            cache_key(scaled_config(memory_ratio=40), workload, 0)
+
+    def test_canonical_distinguishes_float_from_int(self):
+        assert _canonical(1) != _canonical(1.0)
+
+    def test_canonical_dict_order_independent(self):
+        assert _canonical({"a": 1, "b": 2}) == _canonical(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        result = tiny_run()
+        restored = result_from_payload(
+            json.loads(json.dumps(result_to_payload(result)))
+        )
+        assert restored == result
+        # Event-keyed counts survive the name round trip.
+        assert restored.events == result.events
+
+    def test_host_seconds_excluded(self):
+        result = tiny_run()
+        assert result.host_seconds > 0
+        payload = result_to_payload(result)
+        assert "host_seconds" not in payload
+        assert result_from_payload(payload).host_seconds == 0.0
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = tiny_run()
+        key = cache_key(scaled_config(memory_ratio=40),
+                        SlcWorkload(length_scale=TINY_SCALE), 0, 2000)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        reloaded = cache.get(key)
+        assert reloaded == result
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_reload_from_fresh_instance(self, tmp_path):
+        """A second session over the same directory hits."""
+        result = tiny_run()
+        key = cache_key(scaled_config(memory_ratio=40),
+                        SlcWorkload(length_scale=TINY_SCALE), 0, 2000)
+        ResultCache(tmp_path).put(key, result)
+        assert ResultCache(tmp_path).get(key) == result
+
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = tiny_run()
+        workload = SlcWorkload(length_scale=TINY_SCALE)
+        cache.put(cache_key(scaled_config(memory_ratio=40),
+                            workload, 0, 2000), result)
+        other = cache_key(scaled_config(memory_ratio=48),
+                          workload, 0, 2000)
+        assert cache.get(other) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(scaled_config(memory_ratio=40),
+                        SlcWorkload(length_scale=TINY_SCALE), 0, 2000)
+        cache.put(key, tiny_run())
+        cache.path_for(key).write_text("{ truncated")
+        assert cache.get(key) is None
+
+    def test_format_bump_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(scaled_config(memory_ratio=40),
+                        SlcWorkload(length_scale=TINY_SCALE), 0, 2000)
+        cache.put(key, tiny_run())
+        payload = json.loads(cache.path_for(key).read_text())
+        payload["format"] = CACHE_FORMAT + 1
+        cache.path_for(key).write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = tiny_run()
+        for seed in range(3):
+            key = cache_key(scaled_config(memory_ratio=40),
+                            SlcWorkload(length_scale=TINY_SCALE),
+                            seed, 2000)
+            cache.put(key, dataclasses.replace(result, seed=seed))
+        assert len(cache) == 3
+        cache.clear()
+        assert len(cache) == 0

@@ -22,6 +22,7 @@ PACKAGES = (
     "repro.machine",
     "repro.workloads",
     "repro.analysis",
+    "repro.parallel",
 )
 
 MODULES = (
@@ -45,6 +46,8 @@ MODULES = (
     "repro.machine.simulator",
     "repro.machine.smp",
     "repro.machine.runner",
+    "repro.parallel.cache",
+    "repro.parallel.executor",
     "repro.workloads.synthetic",
     "repro.workloads.recorded",
     "repro.analysis.experiments",

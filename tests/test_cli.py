@@ -129,3 +129,52 @@ class TestSimulationCommands:
         names = {p.name for p in tmp_path.iterdir()}
         assert {"table_3_3.txt", "table_3_4_paper.txt",
                 "table_3_5.txt", "table_4_1.txt"} <= names
+
+
+class TestParallelCommands:
+    def test_table_with_workers_and_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "table", "3.3", "--length", "0.005",
+            "--workers", "2", "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Warm cache: identical artefact, no re-simulation needed.
+        assert first == second
+        assert any(cache_dir.glob("??/*.json"))
+
+    def test_no_cache_flag_disables_caching(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "table", "3.3", "--length", "0.005",
+            "--cache-dir", str(cache_dir), "--no-cache",
+        ]) == 0
+        assert not any(cache_dir.glob("??/*.json"))
+
+    def test_campaign_writes_artefacts_and_caches(self, tmp_path,
+                                                  capsys):
+        out_dir = tmp_path / "out"
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "campaign", "--out-dir", str(out_dir),
+            "--length", "0.005", "--reps", "1",
+            "--workers", "2", "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        names = {p.name for p in out_dir.iterdir()}
+        assert {"table_3_3.txt", "table_3_4_measured.txt",
+                "table_3_5.txt", "table_4_1.txt"} <= names
+        cached = sorted(cache_dir.glob("??/*.json"))
+        assert cached
+        first = {p.name: p.read_text() for p in cached}
+        # Second run resolves entirely from the cache: same artefacts,
+        # no new cache entries.
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert {
+            p.name: p.read_text()
+            for p in sorted(cache_dir.glob("??/*.json"))
+        } == first
