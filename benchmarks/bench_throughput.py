@@ -4,6 +4,12 @@ Tracks simulated references per second of host time for the hot-loop
 paths (hit-dominated, miss-heavy, and policy-slow-path traffic) with
 real pytest-benchmark statistics, so hot-loop regressions show up as
 numbers rather than as mysteriously slow experiment suites.
+
+Each trace shape runs in two modes: ``legacy`` feeds the per-tuple
+stream to :meth:`SpurMachine.run`; ``chunked`` feeds pre-built flat
+``array('q')`` buffers to :meth:`SpurMachine.run_chunks`.  Both
+payloads are materialised *outside* the timed region, so the numbers
+measure the simulator, not trace generation.
 """
 
 import pytest
@@ -16,9 +22,10 @@ from repro.vm.segments import (
     ProcessAddressSpace,
     RegionKind,
 )
-from repro.workloads.base import READ, WRITE
+from repro.workloads.base import READ, WRITE, chunk_accesses
 
 TINY_PAGE = 128
+CHUNK_REFS = 4096
 
 
 def tiny_machine(heap_pages=32):
@@ -62,18 +69,28 @@ def write_trace(heap, count=20_000):
     return trace
 
 
-@pytest.mark.parametrize("shape,builder", [
+TRACES = [
     ("hits", hit_trace),
     ("misses", conflict_trace),
     ("writes", write_trace),
-])
-def test_throughput(benchmark, shape, builder):
+]
+
+
+@pytest.mark.parametrize("shape,builder", TRACES)
+@pytest.mark.parametrize("mode", ["legacy", "chunked"])
+def test_throughput(benchmark, shape, builder, mode):
     machine, heap = tiny_machine()
     trace = builder(heap.start)
     machine.run(trace)  # warm the machine once
 
-    benchmark(machine.run, trace)
+    if mode == "chunked":
+        # Materialise the flat buffers up front: the timed region is
+        # pure simulation, the same refs the legacy mode replays.
+        chunks = list(chunk_accesses(iter(trace), CHUNK_REFS))
+        benchmark(machine.run_chunks, chunks)
+    else:
+        benchmark(machine.run, trace)
     # Sanity floor: even the slowest path should exceed 50k refs/s
     # of host time on any modern machine.
     refs_per_second = len(trace) / benchmark.stats.stats.mean
-    assert refs_per_second > 50_000, shape
+    assert refs_per_second > 50_000, (shape, mode)

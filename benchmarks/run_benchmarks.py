@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Standalone hot-loop throughput benchmark (no pytest needed).
+
+Replays the three trace shapes from :mod:`bench_throughput` —
+hit-dominated, miss-heavy, and write-slow-path — through both hot
+loops and reports simulated references per second of host time:
+
+* ``legacy``  — the per-tuple stream via :meth:`SpurMachine.run`
+  (the pre-batching baseline),
+* ``chunked`` — pre-built flat buffers via
+  :meth:`SpurMachine.run_chunks`.
+
+Payloads are materialised before the timer starts, so the numbers
+measure simulation only.  Results land in ``BENCH_throughput.json``
+at the repo root by default::
+
+    python benchmarks/run_benchmarks.py
+    python benchmarks/run_benchmarks.py --count 5000 \\
+        --check BENCH_throughput.json --max-regression 0.3
+
+``--check`` compares the fresh *speedups* (chunked over legacy, a
+host-speed-independent ratio) against a committed baseline file and
+exits nonzero on a regression beyond ``--max-regression``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+for entry in (str(ROOT / "src"), str(ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from bench_throughput import TRACES, tiny_machine  # noqa: E402
+from repro.workloads.base import chunk_accesses  # noqa: E402
+
+
+def best_refs_per_second(fn, payload, refs, repeat):
+    """Best-of-``repeat`` throughput of ``fn(payload)``."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn(payload)
+        best = min(best, time.perf_counter() - started)
+    return refs / best
+
+
+def run_benchmarks(count, repeat, chunk_refs):
+    traces = {}
+    for shape, builder in TRACES:
+        machine, heap = tiny_machine()
+        trace = builder(heap.start, count)
+        chunks = list(chunk_accesses(iter(trace), chunk_refs))
+        machine.run(trace)  # warm the machine once
+        legacy = best_refs_per_second(
+            machine.run, trace, len(trace), repeat
+        )
+        chunked = best_refs_per_second(
+            machine.run_chunks, chunks, len(trace), repeat
+        )
+        traces[shape] = {
+            "legacy_refs_per_s": round(legacy),
+            "chunked_refs_per_s": round(chunked),
+            "speedup": round(chunked / legacy, 3),
+        }
+    return {
+        "bench": "hot-loop throughput",
+        "count": count,
+        "repeat": repeat,
+        "chunk_refs": chunk_refs,
+        "traces": traces,
+    }
+
+
+def check_regression(results, baseline_path, max_regression):
+    """Nonzero if any shape's speedup regressed past the threshold."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = []
+    for shape, fresh in results["traces"].items():
+        reference = baseline.get("traces", {}).get(shape)
+        if reference is None:
+            continue
+        floor = reference["speedup"] * (1.0 - max_regression)
+        if fresh["speedup"] < floor:
+            failures.append(
+                f"{shape}: speedup {fresh['speedup']:.3f} below "
+                f"{floor:.3f} (baseline {reference['speedup']:.3f} "
+                f"- {max_regression:.0%})"
+            )
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="hot-loop throughput benchmark"
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "BENCH_throughput.json"),
+        help="where to write the results JSON",
+    )
+    parser.add_argument("--count", type=int, default=20_000,
+                        help="references per trace shape")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timing repetitions (best is kept)")
+    parser.add_argument("--chunk-refs", type=int, default=4096,
+                        help="references per flat chunk")
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare speedups against this baseline JSON and exit "
+             "nonzero on a regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.3,
+        help="tolerated fractional speedup drop for --check "
+             "(default 0.3)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.count, args.repeat, args.chunk_refs)
+    text = json.dumps(results, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"written to {args.out}", file=sys.stderr)
+    if args.check:
+        return check_regression(
+            results, args.check, args.max_regression
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

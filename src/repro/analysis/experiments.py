@@ -22,6 +22,7 @@ from repro.policies.costs import (
     overhead_table,
 )
 from repro.policies.reference import REFERENCE_POLICY_NAMES
+from repro.workloads.base import DEFAULT_CHUNK_REFS
 from repro.workloads.devsystems import (
     DEV_SYSTEM_PROFILES,
     DevSystemWorkload,
@@ -73,14 +74,15 @@ class Table33Row:
 
 
 def run_table_3_3(length_scale=1.0, scale=8, runner=None, seed=0,
-                  max_references=None, workers=1):
+                  max_references=None, workers=1,
+                  chunk_refs=DEFAULT_CHUNK_REFS):
     """Measure the Table 3.3 event frequencies.
 
     One run per (workload, memory) point with the SPUR dirty-bit
     mechanism and MISS reference bits — the prototype's configuration,
     which is what the paper measured.  Returns ``(rows, table)``.
     """
-    runner = runner or ExperimentRunner()
+    runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
     points = []
     for name, workload in _standard_workloads(length_scale):
         for memory_mb, ratio in MEMORY_POINTS:
@@ -221,9 +223,9 @@ class Table35Row:
 
 def run_table_3_5(length_scale=1.0, scale=8, runner=None, seed=0,
                   profiles=DEV_SYSTEM_PROFILES, max_references=None,
-                  workers=1):
+                  workers=1, chunk_refs=DEFAULT_CHUNK_REFS):
     """Simulate the six development-system profiles."""
-    runner = runner or ExperimentRunner()
+    runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
     specs = []
     for profile in profiles:
         config = scaled_config(
@@ -297,7 +299,7 @@ class Table41Row:
 
 def run_table_4_1(length_scale=1.0, scale=8, repetitions=3,
                   runner=None, randomize=True, max_references=None,
-                  workers=1):
+                  workers=1, chunk_refs=DEFAULT_CHUNK_REFS):
     """Run the full reference-bit policy matrix.
 
     Repetitions use distinct workload seeds and (like the paper's
@@ -305,7 +307,7 @@ def run_table_4_1(length_scale=1.0, scale=8, repetitions=3,
     ``(rows, table)`` with page-ins and elapsed time normalised to the
     MISS policy within each (workload, memory) group.
     """
-    runner = runner or ExperimentRunner()
+    runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
     points = []
     for name, _ in _standard_workloads(length_scale):
         workload_cls = SlcWorkload if name == "SLC" else Workload1

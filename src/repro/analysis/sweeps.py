@@ -13,6 +13,7 @@ from typing import Callable, Dict
 from repro.analysis.charts import line_plot
 from repro.analysis.tables import Table
 from repro.machine.runner import ExperimentRunner
+from repro.workloads.base import DEFAULT_CHUNK_REFS
 
 #: Standard metric extractors by name.
 METRICS: Dict[str, Callable] = {
@@ -45,13 +46,13 @@ class SweepDriver:
     """
 
     def __init__(self, base_config, field, values, workload_factory,
-                 runner=None, seed=0):
+                 runner=None, seed=0, chunk_refs=DEFAULT_CHUNK_REFS):
         self.base_config = base_config
         self.values = tuple(values)
         if not self.values:
             raise ValueError("sweep needs at least one value")
         self.workload_factory = workload_factory
-        self.runner = runner or ExperimentRunner()
+        self.runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
         self.seed = seed
         if callable(field):
             self._apply = field

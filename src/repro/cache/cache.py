@@ -59,6 +59,11 @@ class VirtualCache:
         self.state = [CoherencyState.INVALID] * num_lines
         self.filled_by_read = [False] * num_lines
         self.holds_pte = [False] * num_lines
+        # Resident block number per line (``line_vaddr >> block_bits``)
+        # or -1 when invalid.  Folding valid+tag into one slot lets the
+        # chunked hot loop decide a hit with a single compare: block
+        # numbers are non-negative, so -1 can never match a probe.
+        self.line_block = [-1] * num_lines
 
         self.stats = {
             "fills": 0,
@@ -132,6 +137,7 @@ class VirtualCache:
         self.line_vaddr[index] = vaddr & ~(
             (1 << self.block_bits) - 1
         )
+        self.line_block[index] = vaddr >> self.block_bits
         self.prot[index] = int(protection)
         self.page_dirty[index] = page_dirty
         self.block_dirty[index] = by_write
@@ -158,6 +164,7 @@ class VirtualCache:
                     self.counters.increment(Event.WRITE_BACK)
                 self._broadcast(BusOp.WRITE_BACK, self.line_vaddr[index])
         self.valid[index] = False
+        self.line_block[index] = -1
         self.state[index] = CoherencyState.INVALID
         self.block_dirty[index] = False
         self.stats["evictions"] += 1
@@ -178,6 +185,7 @@ class VirtualCache:
             if self.counters is not None:
                 self.counters.increment(Event.WRITE_BACK)
         self.valid[index] = False
+        self.line_block[index] = -1
         self.state[index] = CoherencyState.INVALID
         self.block_dirty[index] = False
         self.stats["invalidations"] += 1
@@ -187,6 +195,7 @@ class VirtualCache:
         """Invalidate every line without write-backs (power-on state)."""
         for index in range(self.num_lines):
             self.valid[index] = False
+            self.line_block[index] = -1
             self.state[index] = CoherencyState.INVALID
             self.block_dirty[index] = False
 

@@ -28,6 +28,7 @@ from repro.analysis.experiments import (
 from repro.counters.events import Event
 from repro.machine.config import scaled_config
 from repro.machine.runner import ExperimentRunner
+from repro.workloads.base import DEFAULT_CHUNK_REFS
 from repro.workloads.devsystems import (
     DEV_SYSTEM_PROFILES,
     DevSystemWorkload,
@@ -47,7 +48,8 @@ def _runner_from_args(args):
 
         cache = ResultCache(cache_dir)
     return ExperimentRunner(
-        cache=cache, sanitize=getattr(args, "sanitize", None)
+        cache=cache, sanitize=getattr(args, "sanitize", None),
+        chunk_refs=getattr(args, "chunk_refs", DEFAULT_CHUNK_REFS),
     )
 
 
@@ -174,7 +176,9 @@ def cmd_run(args):
         reference_policy=args.ref.upper(),
     )
     workload = _workload_by_name(args.workload, args.length)
-    result = ExperimentRunner().run(config, workload, seed=args.seed)
+    result = ExperimentRunner(chunk_refs=args.chunk_refs).run(
+        config, workload, seed=args.seed
+    )
 
     lines = [
         f"workload            {result.workload}",
@@ -332,7 +336,9 @@ def cmd_replay(args):
             f"trace uses {workload.page_bytes}-byte pages; the "
             f"default machine uses {config.page_bytes}"
         )
-    result = ExperimentRunner().run(config, workload)
+    result = ExperimentRunner(chunk_refs=args.chunk_refs).run(
+        config, workload
+    )
     lines = [
         f"replayed            {result.references:,} references of "
         f"{result.workload}",
@@ -379,6 +385,12 @@ def build_parser():
                        help="workload length multiplier (default 1.0)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--out", help="also write the artefact here")
+        p.add_argument("--chunk-refs", type=int,
+                       default=DEFAULT_CHUNK_REFS,
+                       help="references per flat workload chunk in "
+                            "the batched hot loop (0 = legacy "
+                            "per-tuple stream; results are "
+                            "bit-identical either way)")
         if reps:
             p.add_argument("--reps", type=int, default=2,
                            help="repetitions (paper used 5)")

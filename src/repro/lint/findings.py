@@ -32,12 +32,27 @@ class LintConfig:
     #: container it touches.
     hot_loop_attr_allowlist: frozenset = frozenset()
 
+    #: ``ClassName.method`` functions shaped as two-level chunked hot
+    #: loops (R001): an outer loop over flat chunks whose per-chunk
+    #: level may use ``chunk_loop_attr_allowlist`` calls, and inner
+    #: per-reference loops held to the strict hot-loop rules plus a
+    #: ban on tuple allocation.
+    chunked_hot_loops: tuple = ("SpurMachine.run_chunks",)
+
+    #: Attribute-call names permitted at the per-chunk (outer) level
+    #: of a chunked hot loop (R001).  ``tobytes``/``count`` cover the
+    #: C-speed reference-mix tallies on each chunk's kind slice.
+    chunk_loop_attr_allowlist: frozenset = frozenset(
+        {"count", "tobytes"}
+    )
+
     #: The cache's parallel tag arrays (R002); writes to
     #: ``<obj>.<field>[...]`` outside the sanctioned modules flag.
     tag_arrays: frozenset = frozenset({
         "valid",
         "tags",
         "line_vaddr",
+        "line_block",
         "prot",
         "page_dirty",
         "block_dirty",

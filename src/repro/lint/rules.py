@@ -12,8 +12,16 @@ R001
     callable and container must be pre-bound to a local before the
     loop.  The simulator's throughput lives and dies on this.
 
+    Functions named in ``config.chunked_hot_loops`` are held to the
+    two-level batched shape instead: they must contain a reference
+    loop nested inside the chunk loop; the per-chunk (outer) level
+    may additionally call the ``config.chunk_loop_attr_allowlist``
+    methods (C-speed whole-chunk operations like ``.count``); and the
+    per-reference (inner) levels obey the strict rules above plus a
+    ban on tuple allocation — nothing may be boxed per reference.
+
 R002
-    Parallel-array write discipline.  The cache's tag arrays are nine
+    Parallel-array write discipline.  The cache's tag arrays are
     parallel lists indexed by line; a write to one from an
     unsanctioned module can desynchronise them without tripping any
     unit test until much later.  Only the writers named in
@@ -65,25 +73,111 @@ def _loop_bodies(func):
 def check_hot_loops(modules, config):
     findings = []
     wanted = set(config.hot_loops)
+    chunked = set(config.chunked_hot_loops)
     allow = config.hot_loop_attr_allowlist
     for module in modules:
         for qualname, func in _qualified_functions(module.tree):
-            if qualname not in wanted:
-                continue
-            for loop in _loop_bodies(func):
-                # The iterable of a ``for`` is evaluated once; only
-                # the body (and ``while`` tests, re-evaluated each
-                # iteration) are hot.
-                hot_nodes = list(loop.body) + list(loop.orelse)
-                if isinstance(loop, ast.While):
-                    hot_nodes.append(loop.test)
-                for stmt in hot_nodes:
-                    for node in ast.walk(stmt):
-                        finding = _classify_hot_node(
-                            node, qualname, module.path, allow
-                        )
-                        if finding is not None:
-                            findings.append(finding)
+            if qualname in wanted:
+                for loop in _loop_bodies(func):
+                    # The iterable of a ``for`` is evaluated once;
+                    # only the body (and ``while`` tests,
+                    # re-evaluated each iteration) are hot.
+                    hot_nodes = list(loop.body) + list(loop.orelse)
+                    if isinstance(loop, ast.While):
+                        hot_nodes.append(loop.test)
+                    for stmt in hot_nodes:
+                        for node in ast.walk(stmt):
+                            finding = _classify_hot_node(
+                                node, qualname, module.path, allow
+                            )
+                            if finding is not None:
+                                findings.append(finding)
+            if qualname in chunked:
+                findings.extend(_check_chunked_function(
+                    func, qualname, module.path, config
+                ))
+    return findings
+
+
+def _direct_loops(node):
+    """Loops in *node* not nested inside another loop (or function)."""
+    loops = []
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.For, ast.While, ast.AsyncFor)):
+            loops.append(child)
+            continue
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+    return loops
+
+
+def _own_level_nodes(loop):
+    """AST nodes that execute at *loop*'s own nesting level.
+
+    Stops at child loops — their bodies are the next level down —
+    but keeps each child ``for``'s iterable, which is evaluated once
+    per iteration of *this* loop.  A child ``while``'s test runs at
+    the child's level and is skipped with it.
+    """
+    roots = list(loop.body) + list(loop.orelse)
+    if isinstance(loop, ast.While):
+        roots.append(loop.test)
+    nodes = []
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            stack.append(node.iter)
+            continue
+        if isinstance(node, ast.While):
+            continue
+        nodes.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def _check_chunked_function(func, qualname, path, config):
+    """R001 for a two-level chunked hot loop.
+
+    Depth 0 (the per-chunk level) may call the chunk allowlist's
+    methods; depth >= 1 (the per-reference levels) is held to the
+    strict hot-loop rules and may not allocate tuples either.
+    """
+    findings = []
+    top_loops = _direct_loops(func)
+    if top_loops and not any(_direct_loops(loop)
+                             for loop in top_loops):
+        findings.append(Finding(
+            "R001", path, func.lineno,
+            f"{qualname} is a chunked hot loop but has no nested "
+            f"reference loop; expected the two-level chunk/reference "
+            f"shape",
+        ))
+
+    def visit(loop, depth):
+        allow = (config.chunk_loop_attr_allowlist if depth == 0
+                 else config.hot_loop_attr_allowlist)
+        for node in _own_level_nodes(loop):
+            finding = _classify_hot_node(node, qualname, path, allow)
+            if finding is not None:
+                findings.append(finding)
+            elif (depth >= 1 and isinstance(node, ast.Tuple)
+                    and isinstance(node.ctx, ast.Load)):
+                findings.append(Finding(
+                    "R001", path, node.lineno,
+                    f"tuple literal allocates inside the "
+                    f"per-reference loop of {qualname}; nothing may "
+                    f"be boxed per reference",
+                ))
+        for child in _direct_loops(loop):
+            visit(child, depth + 1)
+
+    for loop in top_loops:
+        visit(loop, 0)
     return findings
 
 
@@ -148,8 +242,8 @@ def check_tag_array_writes(modules, config):
                     "R002", module.path, target.lineno,
                     f"write to parallel tag array `.{field}` outside "
                     f"its sanctioned writers; route the update "
-                    f"through VirtualCache so the nine arrays stay "
-                    f"in lock-step",
+                    f"through VirtualCache so the parallel arrays "
+                    f"stay in lock-step",
                 ))
     return findings
 
@@ -159,7 +253,7 @@ def _tag_array_field(target, tag_arrays):
 
     Matches element writes — ``<expr>.field[...] = ...`` — only.
     Those are the desynchronisation hazard: one array mutates while
-    its eight siblings keep the old line.  Plain attribute binds are
+    its siblings keep the old line.  Plain attribute binds are
     deliberately ignored; names like ``valid`` and ``state`` are
     scalar fields on PTEs and other records all over the tree.
     """

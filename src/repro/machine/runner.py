@@ -24,6 +24,7 @@ from repro.common.rng import DeterministicRng
 from repro.common.units import SPUR_CYCLE_TIME_SECONDS
 from repro.counters.events import Event
 from repro.machine.simulator import SpurMachine
+from repro.workloads.base import DEFAULT_CHUNK_REFS
 
 
 @dataclass
@@ -101,14 +102,22 @@ class ExperimentRunner:
     sanitize:
         Optional :mod:`repro.sanitize` mode name; every run then
         executes under an attached invariant sanitizer.
+    chunk_refs:
+        References per flat workload chunk (the batched hot-loop
+        path, on by default).  ``0`` or ``None`` selects the legacy
+        per-tuple stream.  Either path produces bit-identical results
+        — same counters, cycles, and cache keys — so this knob trades
+        nothing but host speed.
     """
 
     def __init__(self, master_seed=1234, mix_master_seed=False,
-                 cache=None, sanitize=None):
+                 cache=None, sanitize=None,
+                 chunk_refs=DEFAULT_CHUNK_REFS):
         self.master_seed = master_seed
         self.mix_master_seed = mix_master_seed
         self.cache = cache
         self.sanitize = sanitize
+        self.chunk_refs = chunk_refs or 0
 
     def rep_seed(self, rep):
         """The run seed used for repetition *rep*."""
@@ -139,11 +148,18 @@ class ExperimentRunner:
 
             sanitizer = Sanitizer(mode=self.sanitize)
             sanitizer.attach(machine)
-        accesses = instance.accesses()
-        if max_references is not None:
-            accesses = _take(accesses, max_references)
-        started = time.perf_counter()
-        machine.run(accesses)
+        if self.chunk_refs:
+            chunks = instance.access_chunks(self.chunk_refs)
+            if max_references is not None:
+                chunks = _take_chunks(chunks, max_references)
+            started = time.perf_counter()
+            machine.run_chunks(chunks)
+        else:
+            accesses = instance.accesses()
+            if max_references is not None:
+                accesses = _take(accesses, max_references)
+            started = time.perf_counter()
+            machine.run(accesses)
         host_seconds = time.perf_counter() - started
         if sanitizer is not None:
             sanitizer.check_now()
@@ -188,7 +204,8 @@ class ExperimentRunner:
         cells = [
             RunCell(config, workload, seed=seed,
                     max_references=max_references,
-                    sanitize=self.sanitize)
+                    sanitize=self.sanitize,
+                    chunk_refs=self.chunk_refs)
             for config, workload, seed, max_references in specs
         ]
         return execute_cells(cells, workers=workers, cache=self.cache)
@@ -256,3 +273,19 @@ def _take(iterator, count):
         if index >= count:
             break
         yield item
+
+
+def _take_chunks(chunks, count):
+    """Yield at most ``count`` references' worth of flat chunks.
+
+    The final chunk is trimmed to land on exactly ``count`` total
+    references, matching what :func:`_take` does to the tuple stream.
+    """
+    remaining = count
+    for chunk in chunks:
+        pairs = len(chunk) >> 1
+        if pairs >= remaining:
+            yield chunk[:remaining * 2]
+            return
+        remaining -= pairs
+        yield chunk

@@ -18,6 +18,8 @@ Cycle model (Table 2.1, Section 3.2):
   FaultTiming`.
 """
 
+import sys
+
 from repro.common.errors import ProtectionFault
 from repro.common.types import AccessKind, Protection
 from repro.common.units import SPUR_CYCLE_TIME_SECONDS
@@ -36,6 +38,16 @@ from repro.vm.system import VirtualMemorySystem
 
 _WRITE = int(AccessKind.WRITE)
 _RW = int(Protection.READ_WRITE)
+
+# Byte patterns for C-speed kind tallies over a flat chunk's kind
+# slice (``array('q')``, so 8 bytes per element, native byte order).
+# Kinds are 0/1/2 by protocol, so the only nonzero bytes in the slice
+# are aligned kind bytes: a zero element is exactly one aligned 8-zero
+# run (maximal runs of 7+8k or 8k zero bytes yield k greedy matches),
+# and a WRITE match can only start at an aligned 2-byte.  Both counts
+# are therefore exact.
+_KIND_ZERO_BYTES = bytes(8)
+_KIND_WRITE_BYTES = (2).to_bytes(8, sys.byteorder)
 
 
 def _make_flusher(strategy, cost_scale=1):
@@ -152,18 +164,17 @@ class SpurMachine:
         processors.  Returns total cycles.
         """
         cycles = 0
-        counters = self.counters
+        lines_checked = 0
+        write_backs = 0
         for cache in self.caches():
             result = self.flusher.flush_page(
                 cache, page_vaddr, self.page_bytes
             )
-            counters.increment(
-                Event.FLUSH_OPERATION, result.lines_checked
-            )
-            counters.increment(
-                Event.FLUSH_WRITE_BACK, result.write_backs
-            )
+            lines_checked += result.lines_checked
+            write_backs += result.write_backs
             cycles += result.cycles
+        self.counters.increment(Event.FLUSH_OPERATION, lines_checked)
+        self.counters.increment(Event.FLUSH_WRITE_BACK, write_backs)
         return cycles
 
     # -- the hot loop ---------------------------------------------------
@@ -220,6 +231,152 @@ class SpurMachine:
             ifetches=kind_counts[0],
             reads=kind_counts[1],
             writes=kind_counts[2],
+        )
+        mix.flush_to_counters(self.counters)
+        self.reference_mix.add(mix.ifetches, mix.reads, mix.writes)
+        return processed
+
+    def run_chunks(self, chunks):
+        """Simulate a stream of flat reference chunks.
+
+        ``chunks`` yields ``array('q')`` buffers of interleaved
+        ``kind, vaddr`` pairs (see
+        :meth:`repro.workloads.base.WorkloadInstance.access_chunks`).
+        Bit-identical to feeding the same references through
+        :meth:`run`, but several times faster: the hit test is a
+        single compare against the cache's ``line_block`` array, kind
+        tallies come from byte-pattern counts over the chunk's kind
+        slice (memchr speed, no per-element boxing), kind-uniform
+        chunks run a vaddr-only inner loop with the kind held
+        constant, the per-reference cycle charge is folded into one
+        addition per call, and daemon polling runs at pre-computed
+        segment boundaries instead of a per-reference mask test.
+        Returns the number of references processed.
+        """
+        cache = self.cache
+        line_block = cache.line_block
+        block_dirty = cache.block_dirty
+        page_dirty = cache.page_dirty
+        prot = cache.prot
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
+        slow_write_hit = self._slow_write_hit
+        miss = self._miss
+
+        poll_mask = self.config.daemon_poll_refs - 1
+        poll = self.vm.daemon.poll if poll_mask >= 0 else None
+
+        cycles = 0
+        extra = 0
+        ifetches = 0
+        reads = 0
+        writes = 0
+        processed = 0
+        for chunk in chunks:
+            pairs = len(chunk) >> 1
+            if not pairs:
+                continue
+            kind_bytes = chunk[0::2].tobytes()
+            chunk_ifetches = kind_bytes.count(_KIND_ZERO_BYTES)
+            chunk_writes = kind_bytes.count(_KIND_WRITE_BYTES)
+            ifetches += chunk_ifetches
+            writes += chunk_writes
+            reads += pairs - chunk_ifetches - chunk_writes
+            # ``(processed | poll_mask) + 1`` is the number of the next
+            # reference at which the legacy loop would poll the page
+            # daemon (the smallest n > processed with n % interval ==
+            # 0).  Whole chunks that contain no such boundary take the
+            # branch-light paths below; chunks that do are split into
+            # poll-free segments around each polling reference.
+            if poll is None or (processed | poll_mask) + 1 > (
+                processed + pairs
+            ):
+                if chunk_writes == 0 and (
+                    chunk_ifetches == 0 or chunk_ifetches == pairs
+                ):
+                    # Kind-uniform read or ifetch chunk: the kind is
+                    # a constant, so the loop carries vaddrs only.
+                    uniform = 0 if chunk_ifetches else 1
+                    for vaddr in chunk[1::2]:
+                        block = vaddr >> block_bits
+                        if line_block[block & index_mask] != block:
+                            extra += miss(uniform, vaddr)
+                    processed += pairs
+                    continue
+                it = iter(chunk)
+                for kind, vaddr in zip(it, it):
+                    block = vaddr >> block_bits
+                    if line_block[block & index_mask] == block:
+                        if kind != 2:
+                            continue
+                        index = block & index_mask
+                        if (
+                            block_dirty[index]
+                            and page_dirty[index]
+                            and prot[index] == _RW
+                        ):
+                            continue
+                        extra += slow_write_hit(index, vaddr)
+                        continue
+                    extra += miss(kind, vaddr)
+                processed += pairs
+                continue
+            start = 0
+            while start < pairs:
+                free = (processed | poll_mask) - processed
+                segment = free if free < pairs - start else (
+                    pairs - start
+                )
+                if segment:
+                    end = (start + segment) << 1
+                    it = iter(chunk[start << 1:end])
+                    for kind, vaddr in zip(it, it):
+                        block = vaddr >> block_bits
+                        if line_block[block & index_mask] == block:
+                            if kind != 2:
+                                continue
+                            index = block & index_mask
+                            if (
+                                block_dirty[index]
+                                and page_dirty[index]
+                                and prot[index] == _RW
+                            ):
+                                continue
+                            extra += slow_write_hit(index, vaddr)
+                            continue
+                        extra += miss(kind, vaddr)
+                    processed += segment
+                    start += segment
+                if start < pairs:
+                    # The next reference lands on the poll boundary:
+                    # poll first (the legacy loop polls before handling
+                    # the reference), then process it inline.
+                    cycles += poll()
+                    offset = start << 1
+                    kind = chunk[offset]
+                    vaddr = chunk[offset + 1]
+                    block = vaddr >> block_bits
+                    if line_block[block & index_mask] == block:
+                        if kind == 2:
+                            index = block & index_mask
+                            if not (
+                                block_dirty[index]
+                                and page_dirty[index]
+                                and prot[index] == _RW
+                            ):
+                                extra += slow_write_hit(index, vaddr)
+                    else:
+                        extra += miss(kind, vaddr)
+                    processed += 1
+                    start += 1
+
+        # Deferred accounting: every reference costs its base cycle
+        # (hence ``+ processed``); slow paths and polls added theirs
+        # to ``extra`` and ``cycles``.
+        self.cycles += cycles + extra + processed
+        self.references += processed
+        mix = ReferenceMix(
+            ifetches=ifetches, reads=reads, writes=writes
         )
         mix.flush_to_counters(self.counters)
         self.reference_mix.add(mix.ifetches, mix.reads, mix.writes)

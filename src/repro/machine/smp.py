@@ -125,17 +125,17 @@ class SmpSystem:
     def flush_page(self, page_vaddr):
         """Flush one page from every processor's cache."""
         cycles = 0
+        lines_checked = 0
+        write_backs = 0
         for cache in self.caches():
             result = self.flusher.flush_page(
                 cache, page_vaddr, self.page_bytes
             )
-            self.counters.increment(
-                Event.FLUSH_OPERATION, result.lines_checked
-            )
-            self.counters.increment(
-                Event.FLUSH_WRITE_BACK, result.write_backs
-            )
+            lines_checked += result.lines_checked
+            write_backs += result.write_backs
             cycles += result.cycles
+        self.counters.increment(Event.FLUSH_OPERATION, lines_checked)
+        self.counters.increment(Event.FLUSH_WRITE_BACK, write_backs)
         return cycles
 
     # -- execution ---------------------------------------------------------
@@ -167,6 +167,41 @@ class SmpSystem:
                 if batch:
                     total += self.cpus[cpu_index].run(batch)
                 if len(batch) < quantum:
+                    finished.append(cpu_index)
+            for cpu_index in finished:
+                live.remove(cpu_index)
+        return total
+
+    def run_interleaved_chunks(self, chunk_streams, quantum=4096):
+        """Chunked counterpart of :meth:`run_interleaved`.
+
+        ``chunk_streams`` holds one flat-chunk iterator per CPU,
+        chunked at ``quantum`` references (e.g.
+        ``instance.access_chunks(quantum)`` or
+        :func:`repro.workloads.base.chunk_accesses`).  Each round
+        feeds every live CPU its next whole chunk through
+        :meth:`SpurMachine.run_chunks` — the same quantum boundaries
+        the tuple path's ``islice`` batches produce, so results are
+        bit-identical.  A short (or missing) chunk retires its CPU
+        exactly as a short batch does.  Returns total references.
+        """
+        if len(chunk_streams) != len(self.cpus):
+            raise ValueError(
+                f"need one chunk stream per CPU "
+                f"({len(self.cpus)}), got {len(chunk_streams)}"
+            )
+        iterators = [iter(stream) for stream in chunk_streams]
+        live = list(range(len(iterators)))
+        total = 0
+        while live:
+            finished = []
+            for cpu_index in live:
+                chunk = next(iterators[cpu_index], None)
+                if chunk is None:
+                    finished.append(cpu_index)
+                    continue
+                total += self.cpus[cpu_index].run_chunks((chunk,))
+                if len(chunk) >> 1 < quantum:
                     finished.append(cpu_index)
             for cpu_index in finished:
                 live.remove(cpu_index)

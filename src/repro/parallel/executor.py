@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.parallel.cache import CacheKeyError, cache_key
+from repro.workloads.base import DEFAULT_CHUNK_REFS
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,9 @@ class RunCell:
     are built).  ``sanitize`` optionally names a
     :mod:`repro.sanitize` mode to run the cell under; it is not part
     of the cache key because the sanitizer observes without altering
-    results.
+    results.  ``chunk_refs`` selects the batched hot-loop path (0 =
+    legacy tuple stream); it is likewise excluded from the cache key
+    because both paths produce bit-identical results.
     """
 
     config: Any
@@ -36,6 +39,7 @@ class RunCell:
     seed: int = 0
     max_references: Optional[int] = None
     sanitize: Optional[str] = None
+    chunk_refs: int = DEFAULT_CHUNK_REFS
 
 
 def simulate_cell(cell):
@@ -47,7 +51,9 @@ def simulate_cell(cell):
     """
     from repro.machine.runner import ExperimentRunner
 
-    runner = ExperimentRunner(sanitize=cell.sanitize)
+    runner = ExperimentRunner(
+        sanitize=cell.sanitize, chunk_refs=cell.chunk_refs
+    )
     return runner.run(
         cell.config, cell.workload, seed=cell.seed,
         max_references=cell.max_references,

@@ -29,6 +29,7 @@ TAG_ARRAY_FIELDS = (
     "state",
     "filled_by_read",
     "holds_pte",
+    "line_block",
 )
 
 
@@ -57,7 +58,12 @@ def check_line(cache, index, ref_index=None):
     * a block-dirty line is owned — Berkeley Ownership permits dirty
       data only in the two OWNED states, which is also the "UNOWNED
       implies memory up to date" half of the protocol
-      (``cache.dirty-owned``).
+      (``cache.dirty-owned``);
+    * the probe shortcut agrees with the tag arrays: ``line_block`` is
+      the fill address's block number on a valid line and -1 on an
+      invalid one, so the chunked hot loop's single-compare hit test
+      matches the valid+tag test exactly
+      (``cache.line-block-agreement``).
     """
     valid = cache.valid[index]
     state = cache.state[index]
@@ -67,6 +73,16 @@ def check_line(cache, index, ref_index=None):
             raise InvariantViolation(
                 "cache.invalid-quiescent",
                 f"invalid line {index} keeps state/dirty residue",
+                machine=cache.name,
+                ref_index=ref_index,
+                state=_line_state(cache, index),
+            )
+        if cache.line_block[index] != -1:
+            raise InvariantViolation(
+                "cache.line-block-agreement",
+                f"invalid line {index} keeps block number "
+                f"{cache.line_block[index]}; the chunked hot loop "
+                f"would hit on a stale block",
                 machine=cache.name,
                 ref_index=ref_index,
                 state=_line_state(cache, index),
@@ -89,6 +105,16 @@ def check_line(cache, index, ref_index=None):
         raise InvariantViolation(
             "cache.tag-agreement",
             f"line {index}: tag, fill address, and index disagree",
+            machine=cache.name,
+            ref_index=ref_index,
+            state=_line_state(cache, index),
+        )
+    if cache.line_block[index] != vaddr >> cache.block_bits:
+        raise InvariantViolation(
+            "cache.line-block-agreement",
+            f"line {index}: block number "
+            f"{cache.line_block[index]} disagrees with fill address "
+            f"{vaddr:#x}",
             machine=cache.name,
             ref_index=ref_index,
             state=_line_state(cache, index),
@@ -116,7 +142,7 @@ def check_line(cache, index, ref_index=None):
 def check_cache_arrays(cache, ref_index=None):
     """Validate a whole cache: array lengths plus every line.
 
-    Invariant ``cache.array-lengths``: the nine parallel tag arrays all
+    Invariant ``cache.array-lengths``: the ten parallel tag arrays all
     have exactly ``num_lines`` entries — the structural precondition of
     the hot loop's unguarded indexing.
     """

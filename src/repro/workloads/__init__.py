@@ -17,14 +17,16 @@ argument.
 """
 
 from repro.workloads.base import (
+    DEFAULT_CHUNK_REFS,
     IFETCH,
     READ,
     WRITE,
     Workload,
     WorkloadInstance,
+    chunk_accesses,
 )
 from repro.workloads.synthetic import Phase, PhasedProcess, ProcessImage
-from repro.workloads.mix import RoundRobinScheduler
+from repro.workloads.mix import RoundRobinScheduler, SerialChain, serial
 from repro.workloads.workload1 import Workload1
 from repro.workloads.slc import SlcWorkload
 from repro.workloads.devsystems import (
@@ -32,11 +34,16 @@ from repro.workloads.devsystems import (
     DevSystemProfile,
     DevSystemWorkload,
 )
-from repro.workloads.tracefile import read_trace, write_trace
+from repro.workloads.tracefile import (
+    read_trace,
+    read_trace_chunks,
+    write_trace,
+)
 from repro.workloads.recorded import RecordedWorkload, record_workload
 from repro.workloads.scripted import ScriptedWorkload
 
 __all__ = [
+    "DEFAULT_CHUNK_REFS",
     "DEV_SYSTEM_PROFILES",
     "DevSystemProfile",
     "DevSystemWorkload",
@@ -48,12 +55,16 @@ __all__ = [
     "RecordedWorkload",
     "RoundRobinScheduler",
     "ScriptedWorkload",
+    "SerialChain",
     "SlcWorkload",
     "WRITE",
     "Workload",
     "Workload1",
     "WorkloadInstance",
+    "chunk_accesses",
     "read_trace",
+    "read_trace_chunks",
     "record_workload",
+    "serial",
     "write_trace",
 ]

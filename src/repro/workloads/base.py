@@ -2,14 +2,32 @@
 
 A :class:`Workload` is a recipe; :meth:`Workload.instantiate` binds it
 to a page size and seed, producing a :class:`WorkloadInstance` whose
-``accesses()`` iterator the machine consumes.  Instances are one-shot
+reference stream the machine consumes.  Instances are one-shot
 (generators are consumed); re-instantiate for each run, which is also
 how repetitions get fresh-but-reproducible randomness.
 
-References are plain ``(kind, vaddr)`` int tuples — the hot loop in
-:mod:`repro.machine.simulator` depends on there being no per-reference
-object construction beyond the tuple itself.
+Two stream protocols share one instance:
+
+``accesses()``
+    The original iterator of ``(kind, vaddr)`` int tuples.
+
+``access_chunks(chunk_refs)``
+    The batched protocol: an iterator of flat ``array('q')`` buffers
+    holding interleaved ``kind0, vaddr0, kind1, vaddr1, ...`` pairs.
+    Every chunk carries exactly ``chunk_refs`` references except the
+    last, which may be short.  The chunked hot loop in
+    :meth:`repro.machine.simulator.SpurMachine.run_chunks` consumes
+    these directly, amortising the per-reference interpreter overhead
+    that dominates the tuple path.
+
+Generators that know their own structure implement chunking natively
+(see :mod:`repro.workloads.synthetic` and :mod:`repro.workloads.mix`);
+:func:`chunk_accesses` adapts any legacy tuple iterator.  Both
+protocols emit the identical reference sequence, so simulation results
+are bit-identical regardless of which one a run uses.
 """
+
+from array import array
 
 from repro.common.rng import DeterministicRng
 
@@ -18,6 +36,36 @@ from repro.common.rng import DeterministicRng
 IFETCH = 0
 READ = 1
 WRITE = 2
+
+#: Default references per flat chunk.  Big enough to amortise chunk
+#: bookkeeping, small enough that a chunk stays cache-resident on the
+#: host and a max_references cap wastes little generation work.
+DEFAULT_CHUNK_REFS = 4096
+
+
+def chunk_accesses(accesses, chunk_refs=DEFAULT_CHUNK_REFS):
+    """Batch a ``(kind, vaddr)`` iterator into flat ``array('q')`` chunks.
+
+    The generic fallback adapter behind ``access_chunks``: any legacy
+    iterator becomes a chunk stream with exactly ``chunk_refs``
+    references per chunk (the last may be short).  Consumes the
+    iterator as chunks are pulled, so a one-shot generator stays
+    one-shot.
+    """
+    if chunk_refs <= 0:
+        raise ValueError("chunk_refs must be positive")
+    limit = 2 * chunk_refs
+    buf = array("q")
+    append = buf.append
+    for kind, vaddr in accesses:
+        append(kind)
+        append(vaddr)
+        if len(buf) == limit:
+            yield buf
+            buf = array("q")
+            append = buf.append
+    if buf:
+        yield buf
 
 
 class WorkloadInstance:
@@ -31,25 +79,43 @@ class WorkloadInstance:
         The :class:`repro.vm.segments.AddressSpaceMap` describing every
         region the reference stream can touch.
     length_hint:
-        Approximate number of references ``accesses()`` will yield.
+        Approximate number of references the stream will yield.
     """
 
-    def __init__(self, name, space_map, access_factory, length_hint):
+    def __init__(self, name, space_map, access_factory, length_hint,
+                 chunk_factory=None):
         self.name = name
         self.space_map = space_map
         self._access_factory = access_factory
+        self._chunk_factory = chunk_factory
         self.length_hint = length_hint
         self._consumed = False
 
-    def accesses(self):
-        """The reference stream.  May be called once per instance."""
+    def _claim(self):
         if self._consumed:
             raise RuntimeError(
                 "workload instance already consumed; instantiate a "
                 "fresh one per run"
             )
         self._consumed = True
+
+    def accesses(self):
+        """The ``(kind, vaddr)`` tuple stream.  One-shot per instance."""
+        self._claim()
         return self._access_factory()
+
+    def access_chunks(self, chunk_refs=DEFAULT_CHUNK_REFS):
+        """The flat-buffer chunk stream.  One-shot per instance.
+
+        Shares the consumption flag with :meth:`accesses`: a run uses
+        one protocol or the other, never both.  Generators with a
+        native chunk implementation are used directly; anything else
+        goes through the :func:`chunk_accesses` adapter.
+        """
+        self._claim()
+        if self._chunk_factory is not None:
+            return self._chunk_factory(chunk_refs)
+        return chunk_accesses(self._access_factory(), chunk_refs)
 
 
 class Workload:

@@ -5,21 +5,84 @@ switches matter to the cache (each quantum refills it with the new
 process's blocks, which is part of why the MISS approximation tracks
 recency reasonably well).  The scheduler interleaves the per-process
 generators in fixed-size quanta, dropping processes as they exit.
+
+Both stream protocols are supported: ``accesses()`` yields
+``(kind, vaddr)`` tuples exactly as before, and ``access_chunks()``
+yields flat ``array('q')`` buffers.  The chunked path pulls each
+process's stream in whole-quantum chunks — the same slice boundaries
+``itertools.islice`` produces — so the interleaved sequence is
+bit-identical between the protocols.
 """
 
 import itertools
 
+from array import array
+
+from repro.workloads.base import DEFAULT_CHUNK_REFS, chunk_accesses
+
+
+def _chunk_stream(proc, chunk_refs):
+    """A flat-chunk stream for one scheduled process.
+
+    Processes with a native ``access_chunks`` (e.g.
+    :class:`~repro.workloads.synthetic.PhasedProcess`,
+    :class:`SerialChain`) chunk themselves; bare generators and
+    plain ``accesses()`` objects go through the adapter.
+    """
+    if hasattr(proc, "access_chunks"):
+        return proc.access_chunks(chunk_refs)
+    stream = proc.accesses() if hasattr(proc, "accesses") else proc
+    return chunk_accesses(stream, chunk_refs)
+
 
 def serial(processes):
-    """Run several processes back to back as one stream.
+    """Chain several processes back to back as one stream.
 
     Models a shell script's sequential jobs (compile; compile; link)
     occupying one scheduler slot: each job is a separate process image
-    whose pages go dead when it exits.
+    whose pages go dead when it exits.  Returns a :class:`SerialChain`,
+    which iterates like the old bare generator and also chunks
+    natively.
     """
-    for proc in processes:
-        stream = proc.accesses() if hasattr(proc, "accesses") else proc
-        yield from stream
+    return SerialChain(processes)
+
+
+class SerialChain:
+    """Sequential composition of process reference streams."""
+
+    def __init__(self, processes):
+        self.processes = list(processes)
+
+    def __iter__(self):
+        return self.accesses()
+
+    def accesses(self):
+        """Yield ``(kind, vaddr)`` from each process in turn."""
+        for proc in self.processes:
+            stream = (
+                proc.accesses() if hasattr(proc, "accesses") else proc
+            )
+            yield from stream
+
+    def access_chunks(self, chunk_refs=DEFAULT_CHUNK_REFS):
+        """Yield exact ``chunk_refs``-sized flat chunks across jobs.
+
+        Chunks span job boundaries (only the final chunk of the whole
+        chain may be short), matching what the adapter would produce
+        over the concatenated tuple stream.
+        """
+        if chunk_refs <= 0:
+            raise ValueError("chunk_refs must be positive")
+        limit = 2 * chunk_refs
+        buf = array("q")
+        for proc in self.processes:
+            for chunk in _chunk_stream(proc, chunk_refs):
+                buf.extend(chunk)
+                while len(buf) >= limit:
+                    yield buf[:limit]
+                    buf = buf[limit:]
+        if buf:
+            yield buf
 
 
 class RoundRobinScheduler:
@@ -41,21 +104,24 @@ class RoundRobinScheduler:
         if quantum <= 0:
             raise ValueError("quantum must be positive")
         self.quantum = quantum
-        self._streams = []
+        self._entries = []
         for item in processes:
             if isinstance(item, tuple):
                 proc, weight = item
             else:
                 proc, weight = item, 1.0
-            stream = (
-                proc.accesses() if hasattr(proc, "accesses") else proc
-            )
             slice_size = max(1, int(quantum * weight))
-            self._streams.append((stream, slice_size))
+            self._entries.append((proc, slice_size))
 
     def accesses(self):
         """Yield the interleaved reference stream until all exit."""
-        streams = list(self._streams)
+        streams = [
+            (
+                proc.accesses() if hasattr(proc, "accesses") else proc,
+                slice_size,
+            )
+            for proc, slice_size in self._entries
+        ]
         while streams:
             finished = []
             for entry in streams:
@@ -68,3 +134,40 @@ class RoundRobinScheduler:
                     finished.append(entry)
             for entry in finished:
                 streams.remove(entry)
+
+    def access_chunks(self, chunk_refs=DEFAULT_CHUNK_REFS):
+        """Yield the interleaved stream as exact flat chunks.
+
+        Each round pulls one whole ``slice_size`` chunk per live
+        process — precisely the references the tuple path's ``islice``
+        slice would carry — and re-chunks the concatenation to
+        ``chunk_refs`` boundaries.  A short (or missing) per-process
+        chunk marks that process finished, mirroring the
+        ``emitted < slice_size`` exit test.
+        """
+        if chunk_refs <= 0:
+            raise ValueError("chunk_refs must be positive")
+        limit = 2 * chunk_refs
+        streams = [
+            (_chunk_stream(proc, slice_size), slice_size)
+            for proc, slice_size in self._entries
+        ]
+        buf = array("q")
+        while streams:
+            finished = []
+            for entry in streams:
+                stream, slice_size = entry
+                chunk = next(stream, None)
+                if chunk is None:
+                    finished.append(entry)
+                    continue
+                buf.extend(chunk)
+                while len(buf) >= limit:
+                    yield buf[:limit]
+                    buf = buf[limit:]
+                if len(chunk) >> 1 < slice_size:
+                    finished.append(entry)
+            for entry in finished:
+                streams.remove(entry)
+        if buf:
+            yield buf

@@ -19,7 +19,11 @@ import pathlib
 from repro.common.errors import TraceFormatError
 from repro.vm.segments import AddressSpaceMap, Region, RegionKind
 from repro.workloads.base import Workload, WorkloadInstance
-from repro.workloads.tracefile import read_trace, write_trace
+from repro.workloads.tracefile import (
+    read_trace,
+    read_trace_chunks,
+    write_trace,
+)
 
 _REGIONS_MAGIC = "SPUR-REGIONS-1"
 
@@ -126,4 +130,7 @@ class RecordedWorkload(Workload):
             space_map,
             lambda: read_trace(self.trace_path),
             self.length_hint,
+            chunk_factory=lambda chunk_refs: read_trace_chunks(
+                self.trace_path, chunk_refs
+            ),
         )

@@ -147,5 +147,6 @@ class ScriptedWorkload(Workload):
             scheduled, quantum=int(self.spec.get("quantum", 8192))
         )
         return WorkloadInstance(
-            self.name, space_map, scheduler.accesses, length_hint
+            self.name, space_map, scheduler.accesses, length_hint,
+            chunk_factory=scheduler.access_chunks,
         )

@@ -113,5 +113,6 @@ class SlcWorkload(Workload):
         )
         hint = int(1_900_000 * scale)
         return WorkloadInstance(
-            self.name, space_map, scheduler.accesses, hint
+            self.name, space_map, scheduler.accesses, hint,
+            chunk_factory=scheduler.access_chunks,
         )

@@ -12,13 +12,20 @@ References are emitted in reusable *bursts* — short instruction/data
 sequences repeated a few times — which both models loop locality and
 keeps Python-side generation cost far below the simulator's per-
 reference cost.
+
+Internally every burst, allocation touch, and file scan is one flat
+``array('q')`` *segment* of interleaved ``kind, vaddr`` pairs; the
+segment stream drives both the legacy tuple iterator (``accesses``)
+and the native chunk stream (``access_chunks``), so the two protocols
+consume the RNG identically and emit the identical sequence.
 """
 
+from array import array
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 from repro.vm.segments import RegionKind
-from repro.workloads.base import IFETCH, READ, WRITE
+from repro.workloads.base import DEFAULT_CHUNK_REFS, IFETCH, READ, WRITE
 
 #: Cache block size assumed by the generators (fixed across scales).
 BLOCK_BYTES = 32
@@ -157,13 +164,37 @@ class PhasedProcess:
 
     def accesses(self):
         """Yield ``(kind, vaddr)`` across all phases in order."""
-        for phase in self.phases:
-            yield from self._run_phase(phase)
+        for segment in self._segments():
+            it = iter(segment)
+            yield from zip(it, it)
+
+    def access_chunks(self, chunk_refs=DEFAULT_CHUNK_REFS):
+        """Yield flat ``array('q')`` chunks of ``chunk_refs`` references.
+
+        Same sequence as :meth:`accesses` (both drain
+        :meth:`_segments`); every chunk is exactly ``chunk_refs``
+        references except the last.
+        """
+        if chunk_refs <= 0:
+            raise ValueError("chunk_refs must be positive")
+        limit = 2 * chunk_refs
+        buf = array("q")
+        for segment in self._segments():
+            buf.extend(segment)
+            while len(buf) >= limit:
+                yield buf[:limit]
+                buf = buf[limit:]
+        if buf:
+            yield buf
 
     # -- phase machinery ---------------------------------------------------
 
-    def _run_phase(self, phase):
-        image = self.image
+    def _segments(self):
+        """Yield flat reference segments across all phases in order."""
+        for phase in self.phases:
+            yield from self._phase_segments(phase)
+
+    def _phase_segments(self, phase):
         rng = self.rng
         emitted = 0
         # Spread allocations and scans evenly through the phase.
@@ -183,25 +214,26 @@ class PhasedProcess:
 
         while emitted < phase.duration:
             burst = self._make_burst(phase)
+            burst_refs = len(burst) >> 1
             low, high = self.burst_repeats
             for _ in range(rng.randint(low, high)):
-                yield from burst
-                emitted += len(burst)
+                yield burst
+                emitted += burst_refs
                 if emitted >= next_alloc:
                     alloc = self._alloc_page(phase)
-                    yield from alloc
-                    emitted += len(alloc)
+                    yield alloc
+                    emitted += len(alloc) >> 1
                     next_alloc += alloc_every
                 if emitted >= next_scan:
                     scan = self._scan_page()
-                    yield from scan
-                    emitted += len(scan)
+                    yield scan
+                    emitted += len(scan) >> 1
                     next_scan += scan_every
                 if emitted >= phase.duration:
                     break
 
     def _make_burst(self, phase):
-        """Build one reusable loop-body burst for a phase."""
+        """Build one reusable loop-body burst as a flat segment."""
         image = self.image
         rng = self.rng
         page_bytes = image.page_bytes
@@ -210,7 +242,7 @@ class PhasedProcess:
         heap_base = image.heap.start
         stack_top = image.stack.end - page_bytes
 
-        burst = []
+        burst = array("q")
         append = burst.append
 
         # One hot code page per burst, fetched sequentially — a loop.
@@ -220,15 +252,18 @@ class PhasedProcess:
 
         for _ in range(self.burst_ops):
             for _ in range(phase.ifetch_per_op):
-                append((IFETCH, code_page_base + code_offset))
+                append(IFETCH)
+                append(code_page_base + code_offset)
                 code_offset = (code_offset + WORD_BYTES) % page_bytes
 
             roll = rng.random()
             if roll < phase.stack_frac:
                 # Stack traffic: write-then-read near the top.
                 offset = rng.randrange(blocks) * BLOCK_BYTES
-                append((WRITE, stack_top + offset))
-                append((READ, stack_top + offset))
+                append(WRITE)
+                append(stack_top + offset)
+                append(READ)
+                append(stack_top + offset)
                 continue
             if roll < phase.stack_frac + phase.data_frac:
                 # Read-mostly traffic over file-backed writable data.
@@ -241,9 +276,10 @@ class PhasedProcess:
                     + rng.randrange(blocks) * BLOCK_BYTES
                 )
                 if rng.random() < phase.data_write_frac:
-                    append((WRITE, addr))
+                    append(WRITE)
                 else:
-                    append((READ, addr))
+                    append(READ)
+                append(addr)
                 continue
 
             page = phase.ws_start + rng.zipf_index(
@@ -272,14 +308,18 @@ class PhasedProcess:
                         for i in range(span)
                     ]
                     for run_addr in run:
-                        append((READ, run_addr))
+                        append(READ)
+                        append(run_addr)
                     for run_addr in run:
                         if rng.random() < 0.55:
-                            append((WRITE, run_addr))
+                            append(WRITE)
+                            append(run_addr)
                 else:
-                    append((WRITE, addr))
+                    append(WRITE)
+                    append(addr)
             else:
-                append((READ, addr))
+                append(READ)
+                append(addr)
         return burst
 
     def _alloc_page(self, phase):
@@ -289,12 +329,13 @@ class PhasedProcess:
         page = image.alloc_cursor % image.heap_pages
         image.alloc_cursor += 1
         base = image.heap.start + page * page_bytes
-        refs = []
+        refs = array("q")
         written = max(
             1, int(image.blocks_per_page * phase.alloc_write_frac)
         )
         for block in range(written):
-            refs.append((WRITE, base + block * BLOCK_BYTES))
+            refs.append(WRITE)
+            refs.append(base + block * BLOCK_BYTES)
         return refs
 
     def _scan_page(self):
@@ -304,7 +345,8 @@ class PhasedProcess:
         page = image.scan_cursor % image.file_pages
         image.scan_cursor += 1
         base = image.file.start + page * page_bytes
-        return [
-            (READ, base + block * BLOCK_BYTES)
-            for block in range(image.blocks_per_page)
-        ]
+        refs = array("q")
+        for block in range(image.blocks_per_page):
+            refs.append(READ)
+            refs.append(base + block * BLOCK_BYTES)
+        return refs

@@ -190,5 +190,6 @@ class Workload1(Workload):
         scheduler = RoundRobinScheduler(processes, quantum=8192)
         hint = int(2_700_000 * scale)
         return WorkloadInstance(
-            self.name, space_map, scheduler.accesses, hint
+            self.name, space_map, scheduler.accesses, hint,
+            chunk_factory=scheduler.access_chunks,
         )

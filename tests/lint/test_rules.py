@@ -92,6 +92,108 @@ class TestR001HotLoopPurity:
         assert len(findings_for("R001", [path], config)) == 1
 
 
+class TestR001ChunkedShape:
+    @pytest.fixture
+    def chunked(self):
+        return LintConfig().replace(
+            hot_loops=(),
+            chunked_hot_loops=("Machine.run_chunks",),
+        )
+
+    def test_quiet_on_two_level_shape(self, tmp_path, chunked):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run_chunks(self, chunks):
+                    miss = self.miss
+                    total = 0
+                    for chunk in chunks:
+                        kinds = chunk[0::2]
+                        total += kinds.count(0)
+                        it = iter(chunk)
+                        for kind, vaddr in zip(it, it):
+                            total += miss(kind, vaddr)
+                    return total
+            """)
+        assert findings_for("R001", [path], chunked) == []
+
+    def test_fires_on_missing_inner_loop(self, tmp_path, chunked):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run_chunks(self, chunks):
+                    total = 0
+                    for chunk in chunks:
+                        total += len(chunk)
+                    return total
+            """)
+        found = findings_for("R001", [path], chunked)
+        assert len(found) == 1
+        assert "two-level chunk/reference shape" in found[0].message
+
+    def test_chunk_allowlist_is_outer_level_only(self, tmp_path,
+                                                 chunked):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run_chunks(self, chunks):
+                    total = 0
+                    for chunk in chunks:
+                        it = iter(chunk)
+                        for kind, vaddr in zip(it, it):
+                            total += chunk.count(kind)
+                    return total
+            """)
+        found = findings_for("R001", [path], chunked)
+        assert len(found) == 1
+        assert "attribute call `.count(...)`" in found[0].message
+
+    def test_fires_on_attribute_call_in_inner_loop(self, tmp_path,
+                                                   chunked):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run_chunks(self, chunks):
+                    for chunk in chunks:
+                        it = iter(chunk)
+                        for kind, vaddr in zip(it, it):
+                            self.cache.touch(vaddr)
+            """)
+        found = findings_for("R001", [path], chunked)
+        assert len(found) == 1
+        assert "pre-bind the method" in found[0].message
+
+    def test_fires_on_tuple_allocation_in_inner_loop(self, tmp_path,
+                                                     chunked):
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run_chunks(self, chunks):
+                    miss = self.miss
+                    for chunk in chunks:
+                        it = iter(chunk)
+                        for kind, vaddr in zip(it, it):
+                            ref = (kind, vaddr)
+                            miss(ref)
+            """)
+        found = findings_for("R001", [path], chunked)
+        assert len(found) == 1
+        assert "nothing may be boxed per reference" in found[0].message
+
+    def test_segmented_while_counts_as_inner_level(self, tmp_path,
+                                                   chunked):
+        # A while between the chunk loop and the zip loop (the
+        # daemon-poll segmentation shape) is a per-reference level:
+        # strict rules apply inside it.
+        path = write(tmp_path, "hot.py", """\
+            class Machine:
+                def run_chunks(self, chunks):
+                    for chunk in chunks:
+                        start = 0
+                        while start < len(chunk):
+                            squares = [x for x in chunk]
+                            start += 2
+            """)
+        found = findings_for("R001", [path], chunked)
+        assert len(found) == 1
+        assert "comprehension" in found[0].message
+
+
 class TestR002TagArrayWrites:
     def test_fires_outside_sanctioned_writers(self, tmp_path, config):
         path = write(tmp_path, "rogue.py", """\
@@ -220,7 +322,7 @@ class TestEngine:
         assert found[0].render() == (
             f"{path}:2: R002 write to parallel tag array `.state` "
             f"outside its sanctioned writers; route the update "
-            f"through VirtualCache so the nine arrays stay in "
+            f"through VirtualCache so the parallel arrays stay in "
             f"lock-step"
         )
 

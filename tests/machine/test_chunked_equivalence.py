@@ -1,0 +1,226 @@
+"""Chunked and legacy hot loops are bit-identical.
+
+The contract behind ``run_chunks`` (and behind leaving ``chunk_refs``
+out of the result-cache key): for any workload, policy pair, and chunk
+size, the batched path produces exactly the same RunResult — counters,
+cycles, paging totals — and the same machine state as the tuple path.
+"""
+
+import itertools
+
+import pytest
+
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.machine.smp import SmpSystem
+from repro.workloads.base import IFETCH, READ, WRITE, chunk_accesses
+from repro.workloads.devsystems import (
+    DEV_SYSTEM_PROFILES,
+    DevSystemWorkload,
+)
+from repro.workloads.recorded import RecordedWorkload, record_workload
+from repro.workloads.scripted import ScriptedWorkload
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+from tests.conftest import simple_space, tiny_config
+
+DIRTY_POLICIES = ("SPUR", "FAULT", "FLUSH", "WRITE")
+REFERENCE_POLICIES = ("MISS", "REF", "NOREF")
+
+SCRIPT_SPEC = {
+    "name": "equiv-script",
+    "quantum": 256,
+    "processes": [
+        {"name": "p0", "code_pages": 4, "heap_pages": 32,
+         "file_pages": 8,
+         "phases": [{"duration": 3000, "ws_pages": 12,
+                     "write_frac": 0.4, "rmw_frac": 0.3,
+                     "alloc_pages": 4, "scan_pages": 4}]},
+        {"name": "p1", "weight": 0.5, "code_pages": 2,
+         "heap_pages": 16,
+         "phases": [{"duration": 1500, "ws_pages": 8,
+                     "write_frac": 0.2}]},
+    ],
+}
+
+PAGE_BYTES = scaled_config(scale=8).page_bytes
+
+
+@pytest.fixture(scope="module")
+def recorded_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "equiv.bin"
+    record_workload(
+        ScriptedWorkload(SCRIPT_SPEC), PAGE_BYTES, path, seed=9,
+        max_references=3000,
+    )
+    return str(path)
+
+
+def make_workload(name, recorded_path):
+    if name == "workload1":
+        return Workload1(length_scale=0.01)
+    if name == "slc":
+        return SlcWorkload(length_scale=0.01)
+    if name == "devsystem":
+        return DevSystemWorkload(DEV_SYSTEM_PROFILES[0],
+                                 length_scale=0.01)
+    if name == "scripted":
+        return ScriptedWorkload(SCRIPT_SPEC)
+    if name == "recorded":
+        return RecordedWorkload(recorded_path)
+    raise AssertionError(name)
+
+
+class TestRunResultCrossProduct:
+    @pytest.mark.parametrize("dirty,ref", [
+        (dirty, ref)
+        for dirty in DIRTY_POLICIES
+        for ref in REFERENCE_POLICIES
+    ])
+    @pytest.mark.parametrize("workload_name", [
+        "workload1", "slc", "devsystem", "scripted", "recorded",
+    ])
+    def test_chunked_equals_legacy(self, workload_name, dirty, ref,
+                                   recorded_trace):
+        config = scaled_config(
+            memory_ratio=24, scale=8,
+            dirty_policy=dirty, reference_policy=ref,
+        )
+        legacy = ExperimentRunner(chunk_refs=0).run(
+            config, make_workload(workload_name, recorded_trace),
+            seed=1, max_references=2000,
+        )
+        chunked = ExperimentRunner().run(
+            config, make_workload(workload_name, recorded_trace),
+            seed=1, max_references=2000,
+        )
+        assert chunked == legacy
+
+
+def machine_state(machine):
+    """Everything observable about a machine after a run."""
+    cache = machine.cache
+    return {
+        "cycles": machine.cycles,
+        "references": machine.references,
+        "events": machine.counters.snapshot().as_dict(),
+        "valid": list(cache.valid),
+        "tags": list(cache.tags),
+        "line_vaddr": list(cache.line_vaddr),
+        "line_block": list(cache.line_block),
+        "prot": list(cache.prot),
+        "page_dirty": list(cache.page_dirty),
+        "block_dirty": list(cache.block_dirty),
+        "state": list(cache.state),
+        "filled_by_read": list(cache.filled_by_read),
+        "holds_pte": list(cache.holds_pte),
+        "swap": (machine.swap.stats.page_ins,
+                 machine.swap.stats.page_outs,
+                 machine.swap.stats.zero_fills),
+    }
+
+
+def mixed_trace(regions, count):
+    heap = regions["heap"].start
+    code = regions["code"].start
+    refs = []
+    for i in range(count):
+        if i % 5 == 0:
+            refs.append((IFETCH, code + (i % 3) * 32))
+        elif i % 3 == 0:
+            refs.append((WRITE, heap + (i * 13 % 96) * 32))
+        else:
+            refs.append((READ, heap + (i * 37 % 96) * 32))
+    return refs
+
+
+class TestMachineStatePollSchedule:
+    @pytest.mark.parametrize("chunk_refs", [1, 7, 96, 256])
+    def test_poll_schedule_preserved(self, chunk_refs):
+        from repro.machine.simulator import SpurMachine
+
+        space_map, regions = simple_space()
+        config = tiny_config(daemon_poll_refs=64)
+        trace = mixed_trace(regions, 3000)
+
+        legacy = SpurMachine(config, space_map)
+        legacy.run(trace)
+
+        space_map2, regions2 = simple_space()
+        chunked = SpurMachine(tiny_config(daemon_poll_refs=64),
+                              space_map2)
+        chunked.run_chunks(chunk_accesses(iter(trace), chunk_refs))
+
+        assert machine_state(chunked) == machine_state(legacy)
+
+    def test_poll_every_reference(self):
+        # daemon_poll_refs=1 polls before every reference: the
+        # segmented path's inline handler carries the whole chunk.
+        from repro.machine.simulator import SpurMachine
+
+        space_map, regions = simple_space()
+        trace = mixed_trace(regions, 500)
+        legacy = SpurMachine(tiny_config(daemon_poll_refs=1),
+                             space_map)
+        legacy.run(trace)
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(daemon_poll_refs=1),
+                              space_map2)
+        chunked.run_chunks(chunk_accesses(iter(trace), 64))
+        assert machine_state(chunked) == machine_state(legacy)
+
+    def test_state_carries_across_calls(self):
+        # `processed` restarts per call; the poll schedule must too,
+        # exactly like consecutive legacy run() calls.
+        from repro.machine.simulator import SpurMachine
+
+        space_map, regions = simple_space()
+        trace = mixed_trace(regions, 1000)
+        legacy = SpurMachine(tiny_config(daemon_poll_refs=64),
+                             space_map)
+        legacy.run(trace[:400])
+        legacy.run(trace[400:])
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(daemon_poll_refs=64),
+                              space_map2)
+        chunked.run_chunks(chunk_accesses(iter(trace[:400]), 96))
+        chunked.run_chunks(chunk_accesses(iter(trace[400:]), 96))
+        assert machine_state(chunked) == machine_state(legacy)
+
+
+class TestSmpInterleaving:
+    def test_chunked_interleave_matches_legacy(self):
+        def build():
+            space_map, regions = simple_space()
+            system = SmpSystem(tiny_config(), space_map, num_cpus=2)
+            streams = [
+                mixed_trace(regions, 2100),
+                [(READ, regions["heap"].start + (i * 7 % 64) * 32)
+                 for i in range(1500)],
+            ]
+            return system, streams
+
+        legacy_system, streams = build()
+        total_legacy = legacy_system.run_interleaved(
+            streams, quantum=512
+        )
+
+        chunked_system, streams = build()
+        total_chunked = chunked_system.run_interleaved_chunks(
+            [chunk_accesses(iter(stream), 512) for stream in streams],
+            quantum=512,
+        )
+
+        assert total_chunked == total_legacy
+        assert (chunked_system.cycles, chunked_system.references) == (
+            legacy_system.cycles, legacy_system.references
+        )
+        for legacy_cpu, chunked_cpu in zip(
+            legacy_system.cpus, chunked_system.cpus
+        ):
+            assert machine_state(chunked_cpu) == machine_state(
+                legacy_cpu
+            )

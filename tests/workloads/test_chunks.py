@@ -1,0 +1,272 @@
+"""The flat-buffer chunk protocol matches the tuple protocol exactly.
+
+Every generator family is checked both ways: the chunk stream must
+flatten to the identical reference sequence ``accesses()`` yields, and
+chunk sizing must follow the protocol — exactly ``chunk_refs``
+references per chunk, except a short final chunk.
+"""
+
+import itertools
+
+from array import array
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.common.rng import DeterministicRng
+from repro.machine.config import scaled_config
+from repro.vm.segments import AddressSpaceMap, ProcessAddressSpace
+from repro.workloads.base import (
+    DEFAULT_CHUNK_REFS,
+    READ,
+    WRITE,
+    WorkloadInstance,
+    chunk_accesses,
+)
+from repro.workloads.devsystems import (
+    DEV_SYSTEM_PROFILES,
+    DevSystemWorkload,
+)
+from repro.workloads.mix import RoundRobinScheduler, serial
+from repro.workloads.scripted import ScriptedWorkload
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.synthetic import Phase, PhasedProcess, ProcessImage
+from repro.workloads.tracefile import (
+    read_trace,
+    read_trace_chunks,
+    write_trace,
+)
+from repro.workloads.workload1 import Workload1
+
+PAGE = 512
+
+
+def flatten(chunks):
+    """The ``(kind, vaddr)`` sequence a chunk stream encodes."""
+    refs = []
+    for chunk in chunks:
+        it = iter(chunk)
+        refs.extend(zip(it, it))
+    return refs
+
+
+def chunk_ref_counts(chunks):
+    return [len(chunk) >> 1 for chunk in chunks]
+
+
+class TestChunkAccessesAdapter:
+    def test_preserves_sequence_and_sizes(self):
+        refs = [(i % 3, i * 32) for i in range(1000)]
+        chunks = list(chunk_accesses(iter(refs), 256))
+        assert flatten(chunks) == refs
+        assert chunk_ref_counts(chunks) == [256, 256, 256, 232]
+        assert all(isinstance(chunk, array) for chunk in chunks)
+        assert all(chunk.typecode == "q" for chunk in chunks)
+
+    def test_exact_multiple_has_no_empty_tail(self):
+        refs = [(READ, i) for i in range(512)]
+        chunks = list(chunk_accesses(iter(refs), 256))
+        assert chunk_ref_counts(chunks) == [256, 256]
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(chunk_accesses(iter([]), 64)) == []
+
+    def test_rejects_nonpositive_chunk_refs(self):
+        with pytest.raises(ValueError):
+            list(chunk_accesses(iter([]), 0))
+
+    def test_consumes_lazily(self):
+        # Pulling one chunk must not drain the whole source; the
+        # remainder stays available to the underlying iterator.
+        source = iter([(READ, i) for i in range(100)])
+        stream = chunk_accesses(source, 10)
+        next(stream)
+        assert len(list(source)) == 90
+
+
+class TestWorkloadInstanceProtocol:
+    def make_instance(self, **kwargs):
+        refs = [(i % 3, i * 64) for i in range(300)]
+        return refs, WorkloadInstance(
+            "T", None, lambda: iter(refs), len(refs), **kwargs
+        )
+
+    def test_fallback_adapter_matches_accesses(self):
+        refs, instance = self.make_instance()
+        assert flatten(instance.access_chunks(128)) == refs
+
+    def test_one_shot_across_protocols(self):
+        _, instance = self.make_instance()
+        instance.accesses()
+        with pytest.raises(RuntimeError):
+            instance.access_chunks()
+
+    def test_one_shot_other_direction(self):
+        _, instance = self.make_instance()
+        instance.access_chunks()
+        with pytest.raises(RuntimeError):
+            instance.accesses()
+
+    def test_native_chunk_factory_preferred(self):
+        marker = [array("q", [READ, 0x40])]
+        _, instance = self.make_instance(
+            chunk_factory=lambda chunk_refs: iter(marker)
+        )
+        assert list(instance.access_chunks(32)) == marker
+
+
+def phased_process(seed=0, duration=4000):
+    space_map = AddressSpaceMap(PAGE)
+    space = ProcessAddressSpace(0, PAGE, 1 << 24, space_map)
+    image = ProcessImage(space, code_pages=4, heap_pages=32,
+                         file_pages=8, data_pages=0)
+    space_map.seal()
+    phases = [
+        Phase(duration=duration, ws_pages=12, write_frac=0.3,
+              alloc_pages=4, scan_pages=4),
+        Phase(duration=duration // 2, ws_start=8, ws_pages=8,
+              write_frac=0.1),
+    ]
+    return PhasedProcess(image, phases, DeterministicRng(seed))
+
+
+class TestNativeChunkStreams:
+    def test_phased_process_chunks_match_accesses(self):
+        legacy = list(phased_process(seed=3).accesses())
+        chunks = list(phased_process(seed=3).access_chunks(512))
+        assert flatten(chunks) == legacy
+        counts = chunk_ref_counts(chunks)
+        assert all(count == 512 for count in counts[:-1])
+        assert 0 < counts[-1] <= 512
+
+    @pytest.mark.parametrize("chunk_refs", [1, 7, 512, 100_000])
+    def test_phased_process_any_chunk_size(self, chunk_refs):
+        legacy = list(phased_process(seed=5).accesses())
+        chunks = list(
+            phased_process(seed=5).access_chunks(chunk_refs)
+        )
+        assert flatten(chunks) == legacy
+
+    def test_serial_chain_rechunks_across_jobs(self):
+        legacy = list(serial(
+            [phased_process(seed=1), phased_process(seed=2)]
+        ).accesses())
+        chain = serial(
+            [phased_process(seed=1), phased_process(seed=2)]
+        )
+        chunks = list(chain.access_chunks(768))
+        assert flatten(chunks) == legacy
+        counts = chunk_ref_counts(chunks)
+        # Exact chunking even across the job boundary.
+        assert all(count == 768 for count in counts[:-1])
+
+    def test_scheduler_chunks_match_accesses(self):
+        def build():
+            return RoundRobinScheduler(
+                [(phased_process(seed=1), 1.0),
+                 (phased_process(seed=2), 0.5)],
+                quantum=640,
+            )
+
+        legacy = list(build().accesses())
+        chunks = list(build().access_chunks(500))
+        assert flatten(chunks) == legacy
+        counts = chunk_ref_counts(chunks)
+        assert all(count == 500 for count in counts[:-1])
+
+    def test_scheduler_exact_slice_boundary_process(self):
+        # A process whose length is an exact multiple of its slice
+        # size retires cleanly (full last chunk, then empty round).
+        refs_a = [(READ, i * 32) for i in range(200)]
+        refs_b = [(WRITE, i * 32) for i in range(70)]
+
+        def build():
+            return RoundRobinScheduler(
+                [iter(list(refs_a)), iter(list(refs_b))], quantum=50
+            )
+
+        legacy = list(build().accesses())
+        chunks = list(build().access_chunks(64))
+        assert flatten(chunks) == legacy
+
+    @pytest.mark.parametrize("factory", [
+        lambda: Workload1(length_scale=0.01),
+        lambda: SlcWorkload(length_scale=0.01),
+        lambda: DevSystemWorkload(DEV_SYSTEM_PROFILES[0],
+                                  length_scale=0.01),
+    ], ids=["workload1", "slc", "devsystem"])
+    def test_top_level_workloads_match(self, factory):
+        page_bytes = scaled_config(scale=8).page_bytes
+        cap = 20_000
+        legacy = list(itertools.islice(
+            factory().instantiate(page_bytes, seed=2).accesses(), cap
+        ))
+        chunked = []
+        for chunk in factory().instantiate(
+            page_bytes, seed=2
+        ).access_chunks(1024):
+            chunked.extend(flatten([chunk]))
+            if len(chunked) >= cap:
+                break
+        assert chunked[:cap] == legacy
+
+    def test_scripted_workload_matches(self):
+        spec = {
+            "name": "tiny-script",
+            "quantum": 256,
+            "processes": [
+                {"name": "p0", "code_pages": 4, "heap_pages": 32,
+                 "file_pages": 8,
+                 "phases": [{"duration": 2500, "ws_pages": 12,
+                             "write_frac": 0.4, "alloc_pages": 4}]},
+                {"name": "p1", "weight": 0.5, "code_pages": 2,
+                 "heap_pages": 16,
+                 "phases": [{"duration": 1500, "ws_pages": 8,
+                             "write_frac": 0.2}]},
+            ],
+        }
+        page_bytes = scaled_config(scale=8).page_bytes
+        legacy = list(ScriptedWorkload(spec).instantiate(
+            page_bytes, seed=4
+        ).accesses())
+        chunks = list(ScriptedWorkload(spec).instantiate(
+            page_bytes, seed=4
+        ).access_chunks(333))
+        assert flatten(chunks) == legacy
+
+
+class TestTraceFileChunks:
+    def test_matches_read_trace(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        refs = [(i % 3, i * 32) for i in range(5000)]
+        write_trace(path, refs)
+        chunks = list(read_trace_chunks(path, 512))
+        assert flatten(chunks) == list(read_trace(path)) == refs
+        counts = chunk_ref_counts(chunks)
+        assert counts == [512] * 9 + [392]
+
+    def test_truncated_trace_raises(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        refs = [(READ, i) for i in range(100)]
+        write_trace(path, refs)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TraceFormatError):
+            list(read_trace_chunks(path, 64))
+
+
+class TestLengthHint:
+    @pytest.mark.parametrize("factory", [
+        lambda: Workload1(length_scale=0.01),
+        lambda: SlcWorkload(length_scale=0.01),
+    ], ids=["workload1", "slc"])
+    def test_hint_within_25_percent(self, factory):
+        page_bytes = scaled_config(scale=8).page_bytes
+        instance = factory().instantiate(page_bytes, seed=1)
+        hint = instance.length_hint
+        actual = sum(
+            len(chunk) >> 1
+            for chunk in instance.access_chunks(DEFAULT_CHUNK_REFS)
+        )
+        assert hint > 0
+        assert abs(actual - hint) <= 0.25 * hint
