@@ -8,7 +8,15 @@ loops and reports simulated references per second of host time:
 * ``legacy``  — the per-tuple stream via :meth:`SpurMachine.run`
   (the pre-batching baseline),
 * ``chunked`` — pre-built flat buffers via
-  :meth:`SpurMachine.run_chunks`.
+  :meth:`SpurMachine.run_chunks`,
+* ``observed`` — the chunked path with a live
+  :class:`~repro.observe.observer.RunObserver` attached (epoch
+  sampling on), including attach/detach in the timed region.
+
+The ``chunked`` number doubles as the observation *disabled-path*
+measurement: with no observer attached the hot loop carries zero
+observation code, so any disabled-path overhead would show up as a
+plain chunked regression against the committed baseline.
 
 Payloads are materialised before the timer starts, so the numbers
 measure simulation only.  Results land in ``BENCH_throughput.json``
@@ -16,11 +24,14 @@ at the repo root by default::
 
     python benchmarks/run_benchmarks.py
     python benchmarks/run_benchmarks.py --count 5000 \\
-        --check BENCH_throughput.json --max-regression 0.3
+        --check BENCH_throughput.json --max-regression 0.3 \\
+        --max-observe-overhead 0.25
 
 ``--check`` compares the fresh *speedups* (chunked over legacy, a
 host-speed-independent ratio) against a committed baseline file and
 exits nonzero on a regression beyond ``--max-regression``.
+``--max-observe-overhead`` gates the fractional throughput cost of
+*enabled* observation (observed vs chunked, same host, same run).
 """
 
 import argparse
@@ -35,6 +46,7 @@ for entry in (str(ROOT / "src"), str(ROOT / "benchmarks")):
         sys.path.insert(0, entry)
 
 from bench_throughput import TRACES, tiny_machine  # noqa: E402
+from repro.observe.observer import RunObserver  # noqa: E402
 from repro.workloads.base import chunk_accesses  # noqa: E402
 
 
@@ -48,7 +60,16 @@ def best_refs_per_second(fn, payload, refs, repeat):
     return refs / best
 
 
-def run_benchmarks(count, repeat, chunk_refs):
+def observed_run_chunks(machine, chunks, epoch_refs):
+    """One chunked run under a fresh observer (attach in the timing)."""
+    observer = RunObserver(epoch_refs=epoch_refs).attach(machine)
+    try:
+        machine.run_chunks(chunks)
+    finally:
+        observer.detach()
+
+
+def run_benchmarks(count, repeat, chunk_refs, epoch_refs):
     traces = {}
     for shape, builder in TRACES:
         machine, heap = tiny_machine()
@@ -61,18 +82,42 @@ def run_benchmarks(count, repeat, chunk_refs):
         chunked = best_refs_per_second(
             machine.run_chunks, chunks, len(trace), repeat
         )
+        observed = best_refs_per_second(
+            lambda payload: observed_run_chunks(
+                machine, payload, epoch_refs
+            ),
+            chunks, len(trace), repeat,
+        )
         traces[shape] = {
             "legacy_refs_per_s": round(legacy),
             "chunked_refs_per_s": round(chunked),
+            "observed_refs_per_s": round(observed),
             "speedup": round(chunked / legacy, 3),
+            "observe_overhead": round(1.0 - observed / chunked, 3),
         }
     return {
         "bench": "hot-loop throughput",
         "count": count,
         "repeat": repeat,
         "chunk_refs": chunk_refs,
+        "epoch_refs": epoch_refs,
         "traces": traces,
     }
+
+
+def check_observe_overhead(results, max_overhead):
+    """Nonzero if enabled observation costs more than *max_overhead*."""
+    failures = []
+    for shape, fresh in results["traces"].items():
+        if fresh["observe_overhead"] > max_overhead:
+            failures.append(
+                f"{shape}: observe overhead "
+                f"{fresh['observe_overhead']:.1%} above "
+                f"{max_overhead:.1%}"
+            )
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def check_regression(results, baseline_path, max_regression):
@@ -110,6 +155,14 @@ def main(argv=None):
                         help="timing repetitions (best is kept)")
     parser.add_argument("--chunk-refs", type=int, default=4096,
                         help="references per flat chunk")
+    parser.add_argument("--epoch-refs", type=int, default=4096,
+                        help="observation epoch for the observed "
+                             "variant")
+    parser.add_argument(
+        "--max-observe-overhead", type=float, metavar="FRACTION",
+        help="fail if enabled observation costs more than this "
+             "fraction of chunked throughput (e.g. 0.25)",
+    )
     parser.add_argument(
         "--check", metavar="BASELINE",
         help="compare speedups against this baseline JSON and exit "
@@ -122,17 +175,23 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(args.count, args.repeat, args.chunk_refs)
+    results = run_benchmarks(args.count, args.repeat,
+                             args.chunk_refs, args.epoch_refs)
     text = json.dumps(results, indent=2, sort_keys=True)
     print(text)
     if args.out:
         pathlib.Path(args.out).write_text(text + "\n")
         print(f"written to {args.out}", file=sys.stderr)
+    status = 0
     if args.check:
-        return check_regression(
+        status |= check_regression(
             results, args.check, args.max_regression
         )
-    return 0
+    if args.max_observe_overhead is not None:
+        status |= check_observe_overhead(
+            results, args.max_observe_overhead
+        )
+    return status
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ Run:
 
 import sys
 
-from repro.analysis.experiments import run_table_3_5
+from repro.api import run_table_3_5
 
 
 def main():

@@ -10,8 +10,7 @@ Run:
     python examples/quickstart.py
 """
 
-from repro import ExperimentRunner, SlcWorkload, scaled_config
-from repro.counters.events import Event
+from repro.api import Event, ExperimentRunner, SlcWorkload, scaled_config
 
 
 def main():

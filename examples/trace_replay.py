@@ -15,11 +15,14 @@ Run:
 import sys
 import tempfile
 
-from repro.counters.events import Event
-from repro.machine.config import scaled_config
-from repro.machine.runner import ExperimentRunner
-from repro.workloads.recorded import RecordedWorkload, record_workload
-from repro.workloads.slc import SlcWorkload
+from repro.api import (
+    Event,
+    ExperimentRunner,
+    RecordedWorkload,
+    SlcWorkload,
+    record_workload,
+    scaled_config,
+)
 
 
 def main():

@@ -19,7 +19,9 @@ Quickstart::
     print(result.page_ins, result.elapsed_seconds)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+paper-versus-measured record of every table and figure.  The full
+curated import surface (execution options, observability, campaign
+errors, experiment drivers) lives in :mod:`repro.api`.
 """
 
 from repro.common import (
@@ -39,7 +41,14 @@ from repro.machine import (
     paper_config,
     scaled_config,
 )
-from repro.parallel import ResultCache, RunCell, execute_cells
+from repro.options import RunOptions
+from repro.parallel import (
+    CampaignError,
+    CellFailure,
+    ResultCache,
+    RunCell,
+    execute_cells,
+)
 from repro.policies import (
     EventCounts,
     ExcessFaultModel,
@@ -54,6 +63,7 @@ from repro.workloads import (
     DevSystemWorkload,
     SlcWorkload,
     Workload1,
+    workload_by_name,
 )
 
 __version__ = "1.0.0"
@@ -61,6 +71,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Access",
     "AccessKind",
+    "CampaignError",
+    "CellFailure",
     "DEV_SYSTEM_PROFILES",
     "DeterministicRng",
     "DevSystemWorkload",
@@ -74,6 +86,7 @@ __all__ = [
     "ReproError",
     "ResultCache",
     "RunCell",
+    "RunOptions",
     "RunResult",
     "execute_cells",
     "SmpSystem",
@@ -88,4 +101,5 @@ __all__ = [
     "overhead_table",
     "paper_config",
     "scaled_config",
+    "workload_by_name",
 ]

@@ -41,6 +41,17 @@ def _standard_workloads(length_scale):
     )
 
 
+def _driver_runner(chunk_refs, options):
+    """Build a table driver's default runner.
+
+    ``options`` (the documented API) wins over the legacy
+    ``chunk_refs`` keyword when both are supplied.
+    """
+    if options is not None:
+        return ExperimentRunner(options=options)
+    return ExperimentRunner(chunk_refs=chunk_refs)
+
+
 # ---------------------------------------------------------------------------
 # Table 3.3 — event frequencies
 # ---------------------------------------------------------------------------
@@ -74,15 +85,19 @@ class Table33Row:
 
 
 def run_table_3_3(length_scale=1.0, scale=8, runner=None, seed=0,
-                  max_references=None, workers=1,
-                  chunk_refs=DEFAULT_CHUNK_REFS):
+                  max_references=None, workers=None,
+                  chunk_refs=DEFAULT_CHUNK_REFS, options=None):
     """Measure the Table 3.3 event frequencies.
 
     One run per (workload, memory) point with the SPUR dirty-bit
     mechanism and MISS reference bits — the prototype's configuration,
     which is what the paper measured.  Returns ``(rows, table)``.
+
+    ``workers``/``chunk_refs`` are the legacy keywords; pass
+    ``options`` (a :class:`~repro.options.RunOptions`) for the full
+    execution knob set, including observation.
     """
-    runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
+    runner = runner or _driver_runner(chunk_refs, options)
     points = []
     for name, workload in _standard_workloads(length_scale):
         for memory_mb, ratio in MEMORY_POINTS:
@@ -99,6 +114,10 @@ def run_table_3_3(length_scale=1.0, scale=8, runner=None, seed=0,
             for _, _, config, workload in points
         ],
         workers=workers,
+        options=options,
+        labels=[
+            f"{name}/{memory_mb}MB" for name, memory_mb, _, _ in points
+        ],
     )
     rows = [
         Table33Row.from_run(name, memory_mb, result)
@@ -223,9 +242,15 @@ class Table35Row:
 
 def run_table_3_5(length_scale=1.0, scale=8, runner=None, seed=0,
                   profiles=DEV_SYSTEM_PROFILES, max_references=None,
-                  workers=1, chunk_refs=DEFAULT_CHUNK_REFS):
-    """Simulate the six development-system profiles."""
-    runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
+                  workers=None, chunk_refs=DEFAULT_CHUNK_REFS,
+                  options=None):
+    """Simulate the six development-system profiles.
+
+    ``workers``/``chunk_refs`` are the legacy keywords; pass
+    ``options`` (a :class:`~repro.options.RunOptions`) for the full
+    execution knob set, including observation.
+    """
+    runner = runner or _driver_runner(chunk_refs, options)
     specs = []
     for profile in profiles:
         config = scaled_config(
@@ -234,7 +259,10 @@ def run_table_3_5(length_scale=1.0, scale=8, runner=None, seed=0,
         )
         workload = DevSystemWorkload(profile, length_scale=length_scale)
         specs.append((config, workload, seed, max_references))
-    results = runner.run_many(specs, workers=workers)
+    results = runner.run_many(
+        specs, workers=workers, options=options,
+        labels=[profile.hostname for profile in profiles],
+    )
     rows = []
     for profile, result in zip(profiles, results):
         rows.append(Table35Row(
@@ -299,15 +327,20 @@ class Table41Row:
 
 def run_table_4_1(length_scale=1.0, scale=8, repetitions=3,
                   runner=None, randomize=True, max_references=None,
-                  workers=1, chunk_refs=DEFAULT_CHUNK_REFS):
+                  workers=None, chunk_refs=DEFAULT_CHUNK_REFS,
+                  options=None):
     """Run the full reference-bit policy matrix.
 
     Repetitions use distinct workload seeds and (like the paper's
     five-repetition design) a randomised execution order.  Returns
     ``(rows, table)`` with page-ins and elapsed time normalised to the
     MISS policy within each (workload, memory) group.
+
+    ``workers``/``chunk_refs`` are the legacy keywords; pass
+    ``options`` (a :class:`~repro.options.RunOptions`) for the full
+    execution knob set, including observation.
     """
-    runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
+    runner = runner or _driver_runner(chunk_refs, options)
     points = []
     for name, _ in _standard_workloads(length_scale):
         workload_cls = SlcWorkload if name == "SLC" else Workload1
@@ -325,6 +358,7 @@ def run_table_4_1(length_scale=1.0, scale=8, repetitions=3,
     matrix = runner.run_matrix(
         points, repetitions=repetitions, randomize=randomize,
         max_references=max_references, workers=workers,
+        options=options,
     )
 
     rows = []

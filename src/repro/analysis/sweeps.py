@@ -43,16 +43,29 @@ class SweepDriver:
         Zero-argument callable producing a fresh workload per run.
     runner:
         Optional shared :class:`ExperimentRunner`.
+    options:
+        Optional :class:`~repro.options.RunOptions` the driver's
+        default runner is built from (and :meth:`run` uses per call).
+        The ``chunk_refs`` keyword is the legacy shim; ``options``
+        wins when both are given.
     """
 
     def __init__(self, base_config, field, values, workload_factory,
-                 runner=None, seed=0, chunk_refs=DEFAULT_CHUNK_REFS):
+                 runner=None, seed=0, chunk_refs=DEFAULT_CHUNK_REFS,
+                 options=None):
         self.base_config = base_config
         self.values = tuple(values)
         if not self.values:
             raise ValueError("sweep needs at least one value")
         self.workload_factory = workload_factory
-        self.runner = runner or ExperimentRunner(chunk_refs=chunk_refs)
+        self.options = options
+        if runner is None:
+            runner = (
+                ExperimentRunner(options=options)
+                if options is not None
+                else ExperimentRunner(chunk_refs=chunk_refs)
+            )
+        self.runner = runner
         self.seed = seed
         if callable(field):
             self._apply = field
@@ -69,7 +82,7 @@ class SweepDriver:
                 config, **{field: value}
             )
 
-    def run(self, variants=None, workers=1):
+    def run(self, variants=None, workers=None, options=None):
         """Execute the sweep.
 
         Parameters
@@ -80,8 +93,10 @@ class SweepDriver:
             transform is applied after the swept field.  Defaults to
             a single unlabelled series.
         workers:
-            Worker processes for the independent sweep points (see
-            :mod:`repro.parallel`); 1 keeps the serial path.
+            Legacy worker-count keyword; 1 keeps the serial path.
+        options:
+            Per-call :class:`~repro.options.RunOptions` (workers,
+            caching, observation); defaults to the driver's own.
 
         Returns ``{label: {value: RunResult}}``.
         """
@@ -99,6 +114,12 @@ class SweepDriver:
                 for _, _, config in grid
             ],
             workers=workers,
+            options=options if options is not None else self.options,
+            labels=[
+                f"{self.field_name}={value}" + (f"/{label}" if label
+                                                else "")
+                for label, value, _ in grid
+            ],
         )
         results = {}
         for (label, value, _), outcome in zip(grid, outcomes):

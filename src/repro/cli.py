@@ -28,35 +28,62 @@ from repro.analysis.experiments import (
 from repro.counters.events import Event
 from repro.machine.config import scaled_config
 from repro.machine.runner import ExperimentRunner
+from repro.observe.series import DEFAULT_EPOCH_REFS
+from repro.options import RunOptions
 from repro.workloads.base import DEFAULT_CHUNK_REFS
-from repro.workloads.devsystems import (
-    DEV_SYSTEM_PROFILES,
-    DevSystemWorkload,
-)
-from repro.workloads.slc import SlcWorkload
-from repro.workloads.workload1 import Workload1
+from repro.workloads.catalog import workload_by_name
 
 TABLE_CHOICES = ("2.1", "3.1", "3.2", "3.3", "3.4", "3.5", "4.1")
 
 
-def _runner_from_args(args):
-    """Build the ExperimentRunner the parallel/cache flags describe."""
-    cache = None
-    cache_dir = getattr(args, "cache_dir", None)
-    if cache_dir and not getattr(args, "no_cache", False):
-        from repro.parallel import ResultCache
+def _options_from_args(args):
+    """Build the :class:`RunOptions` the CLI flags describe.
 
-        cache = ResultCache(cache_dir)
-    return ExperimentRunner(
-        cache=cache, sanitize=getattr(args, "sanitize", None),
-        chunk_refs=getattr(args, "chunk_refs", DEFAULT_CHUNK_REFS),
+    Opens a :class:`~repro.observe.sinks.JsonlSink` when ``--trace``
+    was given; callers close it via :func:`_close_sink` when the
+    command finishes.
+    """
+    sink = None
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.observe import JsonlSink
+
+        sink = JsonlSink(trace_out)
+    return RunOptions(
+        workers=getattr(args, "workers", 1),
+        chunk_refs=getattr(args, "chunk_refs", DEFAULT_CHUNK_REFS) or 0,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+        sanitize=getattr(args, "sanitize", None),
+        observe=getattr(args, "observe", False),
+        epoch_refs=getattr(args, "epoch_refs", DEFAULT_EPOCH_REFS),
+        trace_sink=sink,
+        progress=getattr(args, "progress", False) or None,
     )
+
+
+def _runner_from_args(args):
+    """Build the ExperimentRunner the CLI flags describe."""
+    return ExperimentRunner(options=_options_from_args(args))
+
+
+def _close_sink(runner):
+    """Close the runner's trace sink, if the CLI opened one."""
+    sink = runner.options.trace_sink
+    if sink is not None:
+        sink.close()
 
 
 def _report_cache(runner):
     """Print cache traffic after a cached command, if any."""
     if runner.cache is not None:
         print(runner.cache.stats_line(), file=sys.stderr)
+
+
+def _finish(runner):
+    """Wrap up a runner-backed command: cache stats, close the sink."""
+    _report_cache(runner)
+    _close_sink(runner)
 
 
 def _emit(text, out=None):
@@ -69,29 +96,11 @@ def _emit(text, out=None):
 
 
 def _workload_by_name(name, length_scale):
-    if name.endswith(".json"):
-        from repro.workloads.scripted import ScriptedWorkload
-
-        return ScriptedWorkload(name, length_scale=length_scale)
-    lowered = name.lower()
-    if lowered in ("slc", "lisp"):
-        return SlcWorkload(length_scale=length_scale)
-    if lowered in ("workload1", "w1", "cad"):
-        return Workload1(length_scale=length_scale)
-    if lowered.startswith("dev-"):
-        host = lowered[4:]
-        for profile in DEV_SYSTEM_PROFILES:
-            if profile.hostname == host:
-                return DevSystemWorkload(profile,
-                                         length_scale=length_scale)
-        raise SystemExit(
-            f"unknown host {host!r}; known: "
-            f"{sorted({p.hostname for p in DEV_SYSTEM_PROFILES})}"
-        )
-    raise SystemExit(
-        f"unknown workload {name!r}; try slc, workload1, "
-        f"dev-<host>, or a .json spec file"
-    )
+    """CLI shim over :func:`repro.workloads.workload_by_name`."""
+    try:
+        return workload_by_name(name, length_scale=length_scale)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def cmd_table(args):
@@ -135,7 +144,7 @@ def cmd_table(args):
                                  seed=args.seed, runner=runner,
                                  workers=args.workers)
         _emit(table.render(), args.out)
-        _report_cache(runner)
+        _finish(runner)
     elif number == "3.4":
         if args.source == "paper":
             _, table = build_table_3_4(
@@ -149,7 +158,7 @@ def cmd_table(args):
             _, table = build_table_3_4(
                 rows, exclude_zero_fill=not args.include_zero_fill
             )
-            _report_cache(runner)
+            _finish(runner)
         _emit(table.render(), args.out)
     elif number == "3.5":
         runner = _runner_from_args(args)
@@ -157,14 +166,14 @@ def cmd_table(args):
                                  seed=args.seed, runner=runner,
                                  workers=args.workers)
         _emit(table.render(), args.out)
-        _report_cache(runner)
+        _finish(runner)
     elif number == "4.1":
         runner = _runner_from_args(args)
         _, table = run_table_4_1(length_scale=args.length,
                                  repetitions=args.reps, runner=runner,
                                  workers=args.workers)
         _emit(table.render(), args.out)
-        _report_cache(runner)
+        _finish(runner)
     return 0
 
 
@@ -176,8 +185,10 @@ def cmd_run(args):
         reference_policy=args.ref.upper(),
     )
     workload = _workload_by_name(args.workload, args.length)
-    result = ExperimentRunner(chunk_refs=args.chunk_refs).run(
-        config, workload, seed=args.seed
+    runner = _runner_from_args(args)
+    result = runner.run(
+        config, workload, seed=args.seed,
+        label=f"run/{args.workload}",
     )
 
     lines = [
@@ -200,7 +211,21 @@ def cmd_run(args):
         f"reference faults    "
         f"{result.event(Event.REFERENCE_FAULT):,}",
     ]
+    observation = result.observation
+    if observation is not None:
+        lines.append(
+            f"observation         {len(observation.samples)} samples "
+            f"every {observation.epoch_refs:,} refs"
+        )
+        for phase in sorted(observation.phases):
+            seconds = observation.phases[phase]
+            rate = observation.refs_per_second(phase)
+            lines.append(
+                f"  phase {phase:<9} {seconds:.3f} s host"
+                + (f" ({rate:,.0f} refs/s)" if rate else "")
+            )
     _emit("\n".join(lines), args.out)
+    _finish(runner)
     return 0
 
 
@@ -238,7 +263,7 @@ def cmd_all(args):
         print(f"regenerating {name} ...", file=sys.stderr)
         table = job()
         (out_dir / f"{name}.txt").write_text(table.render() + "\n")
-    _report_cache(runner)
+    _finish(runner)
     print(f"artefacts in {out_dir}", file=sys.stderr)
     return 0
 
@@ -251,26 +276,38 @@ def cmd_campaign(args):
     over ``--workers`` processes.  A warm cache re-runs the whole
     campaign without simulating a single cell.
     """
+    from repro.parallel import CampaignError
+
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     runner = _runner_from_args(args)
 
-    print(f"table 3.3 ({args.workers} workers) ...", file=sys.stderr)
-    rows_33, table_33 = run_table_3_3(
-        length_scale=args.length, seed=args.seed, runner=runner,
-        workers=args.workers,
-    )
-    _, table_34 = build_table_3_4(rows_33)
-    print("table 3.5 ...", file=sys.stderr)
-    _, table_35 = run_table_3_5(
-        length_scale=args.length, seed=args.seed, runner=runner,
-        workers=args.workers,
-    )
-    print("table 4.1 ...", file=sys.stderr)
-    _, table_41 = run_table_4_1(
-        length_scale=args.length, repetitions=args.reps,
-        runner=runner, workers=args.workers,
-    )
+    try:
+        print(f"table 3.3 ({args.workers} workers) ...",
+              file=sys.stderr)
+        rows_33, table_33 = run_table_3_3(
+            length_scale=args.length, seed=args.seed, runner=runner,
+            workers=args.workers,
+        )
+        _, table_34 = build_table_3_4(rows_33)
+        print("table 3.5 ...", file=sys.stderr)
+        _, table_35 = run_table_3_5(
+            length_scale=args.length, seed=args.seed, runner=runner,
+            workers=args.workers,
+        )
+        print("table 4.1 ...", file=sys.stderr)
+        _, table_41 = run_table_4_1(
+            length_scale=args.length, repetitions=args.reps,
+            runner=runner, workers=args.workers,
+        )
+    except CampaignError as error:
+        # Every cell had its chance (successes are cached), so a
+        # re-run after the fix only simulates the failed cells.
+        print("campaign FAILED:", file=sys.stderr)
+        for failure in error.failures:
+            print(f"  {failure.describe()}", file=sys.stderr)
+        _finish(runner)
+        return 1
     artefacts = (
         ("table_3_3", table_33),
         ("table_3_4_measured", table_34),
@@ -279,7 +316,7 @@ def cmd_campaign(args):
     )
     for name, table in artefacts:
         (out_dir / f"{name}.txt").write_text(table.render() + "\n")
-    _report_cache(runner)
+    _finish(runner)
     print(f"artefacts in {out_dir}", file=sys.stderr)
     return 0
 
@@ -355,6 +392,47 @@ def cmd_replay(args):
     return 0
 
 
+def cmd_observe_report(args):
+    """Summarise a JSONL trace; optionally export CSV/JSON."""
+    from repro.common.errors import TraceFormatError
+    from repro.observe.report import (
+        read_trace,
+        render_report,
+        summarize_trace,
+        trajectories_json,
+        write_trajectories_csv,
+    )
+
+    try:
+        events = read_trace(args.trace)
+    except OSError as error:
+        raise SystemExit(f"cannot read trace: {error}") from None
+    except TraceFormatError as error:
+        raise SystemExit(str(error)) from None
+    summary = summarize_trace(events)
+    _emit(render_report(summary), args.out)
+    if args.csv:
+        count = write_trajectories_csv(events, args.csv)
+        print(f"{count} trajectory rows written to {args.csv}",
+              file=sys.stderr)
+    if args.json:
+        import json as json_module
+
+        payload = {
+            "summary": summary.to_json_dict(),
+            "trajectories": trajectories_json(events),
+        }
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"JSON export written to {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args):
     """Run every experiment and emit the Markdown report.
 
@@ -406,6 +484,25 @@ def build_parser():
         p.add_argument("--no-cache", action="store_true",
                        help="ignore --cache-dir for this invocation")
 
+    def observe_opts(p):
+        p.add_argument("--observe", action="store_true",
+                       help="sample the counter bank on an epoch "
+                            "cadence during every run (results stay "
+                            "bit-identical)")
+        p.add_argument("--epoch-refs", type=int,
+                       default=DEFAULT_EPOCH_REFS,
+                       help="references per observation epoch "
+                            "(rounded up to the page-daemon poll "
+                            "interval)")
+        p.add_argument("--trace", dest="trace_out", metavar="PATH",
+                       help="write JSON-lines trace events here "
+                            "(read back with `repro observe report`); "
+                            "combine with --observe for per-epoch "
+                            "counter records")
+        p.add_argument("--progress", action="store_true",
+                       help="live cells-done/cached/failed progress "
+                            "line on stderr")
+
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", choices=TABLE_CHOICES)
     p_table.add_argument("--source", choices=("paper", "measured"),
@@ -415,6 +512,7 @@ def build_parser():
                          help="keep N_zfod in the 3.4 models")
     common(p_table, reps=True)
     parallel_opts(p_table)
+    observe_opts(p_table)
     p_table.set_defaults(func=cmd_table)
 
     p_run = sub.add_parser("run", help="one simulation run")
@@ -428,6 +526,7 @@ def build_parser():
     p_run.add_argument("--ref", default="MISS",
                        help="MISS|REF|NOREF")
     common(p_run)
+    observe_opts(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_formats = sub.add_parser(
@@ -440,6 +539,7 @@ def build_parser():
     p_all.add_argument("--out-dir", default="results")
     common(p_all, reps=True)
     parallel_opts(p_all)
+    observe_opts(p_all)
     p_all.set_defaults(func=cmd_all)
 
     p_campaign = sub.add_parser(
@@ -453,7 +553,32 @@ def build_parser():
     )
     common(p_campaign, reps=True)
     parallel_opts(p_campaign)
+    observe_opts(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_observe = sub.add_parser(
+        "observe", help="observability: trace reports and exports"
+    )
+    observe_sub = p_observe.add_subparsers(
+        dest="observe_command", required=True
+    )
+    p_obs_report = observe_sub.add_parser(
+        "report", help="summarise a JSON-lines trace file"
+    )
+    p_obs_report.add_argument(
+        "trace", help="trace path written by --trace"
+    )
+    p_obs_report.add_argument(
+        "--csv", help="write counter-trajectory rows (long format) "
+                      "to this CSV file"
+    )
+    p_obs_report.add_argument(
+        "--json", help="write the summary plus trajectories to this "
+                       "JSON file"
+    )
+    p_obs_report.add_argument("--out",
+                              help="also write the report here")
+    p_obs_report.set_defaults(func=cmd_observe_report)
 
     p_report = sub.add_parser(
         "report",

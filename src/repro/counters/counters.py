@@ -54,6 +54,19 @@ class CounterSnapshot:
         """Return a plain ``{Event: count}`` dictionary copy."""
         return dict(self._values)
 
+    def as_name_dict(self):
+        """Return ``{event name: count}``, sorted by name.
+
+        The JSON-friendly rendering trace sinks and reports use;
+        inverse of ``{Event[name]: count for ...}``.
+        """
+        return {
+            event.name: count
+            for event, count in sorted(
+                self._values.items(), key=lambda item: item[0].name
+            )
+        }
+
     def __repr__(self):
         parts = ", ".join(
             f"{event.name}={value}"

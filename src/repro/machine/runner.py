@@ -18,12 +18,14 @@ import hashlib
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.common.rng import DeterministicRng
 from repro.common.units import SPUR_CYCLE_TIME_SECONDS
 from repro.counters.events import Event
 from repro.machine.simulator import SpurMachine
+from repro.observe.series import RunObservation
+from repro.options import RunOptions
 from repro.workloads.base import DEFAULT_CHUNK_REFS
 
 
@@ -34,7 +36,10 @@ class RunResult:
     ``host_seconds`` is measurement *about* the host, not the
     simulation: it is excluded from equality (``compare=False``) and
     from cache serialisation so wall-clock noise can never fail a
-    result comparison or defeat a cache hit.
+    result comparison or defeat a cache hit.  ``observation`` follows
+    the same discipline — the counter time series and phase profile of
+    an observed run ride alongside the result, never inside equality
+    or the cache, so observing a run cannot change what it measured.
     """
 
     workload: str
@@ -52,6 +57,9 @@ class RunResult:
     potentially_modified: int
     not_modified: int
     host_seconds: float = field(default=0.0, compare=False)
+    observation: Optional[RunObservation] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def elapsed_seconds(self):
@@ -108,16 +116,31 @@ class ExperimentRunner:
         per-tuple stream.  Either path produces bit-identical results
         — same counters, cycles, and cache keys — so this knob trades
         nothing but host speed.
+    options:
+        A :class:`~repro.options.RunOptions` bundling every execution
+        knob (workers, chunking, caching, sanitizing, observation).
+        This is the documented API; the ``cache``/``sanitize``/
+        ``chunk_refs`` keywords above are a deprecated compatibility
+        shim consulted only when ``options`` is not given.  An
+        explicit ``cache`` object always wins over
+        ``options.cache_dir``.
     """
 
     def __init__(self, master_seed=1234, mix_master_seed=False,
                  cache=None, sanitize=None,
-                 chunk_refs=DEFAULT_CHUNK_REFS):
+                 chunk_refs=DEFAULT_CHUNK_REFS, options=None):
+        if options is None:
+            options = RunOptions(
+                chunk_refs=chunk_refs or 0, sanitize=sanitize
+            )
+        else:
+            options = RunOptions.coerce(options)
+        self.options = options
         self.master_seed = master_seed
         self.mix_master_seed = mix_master_seed
-        self.cache = cache
-        self.sanitize = sanitize
-        self.chunk_refs = chunk_refs or 0
+        self.cache = cache if cache is not None else options.build_cache()
+        self.sanitize = options.sanitize
+        self.chunk_refs = options.chunk_refs
 
     def rep_seed(self, rep):
         """The run seed used for repetition *rep*."""
@@ -125,7 +148,22 @@ class ExperimentRunner:
             return mix_seed(self.master_seed, rep)
         return rep
 
-    def run(self, config, workload, seed=0, max_references=None):
+    def _call_options(self, options, workers=None):
+        """Resolve per-call options: explicit ones win over the runner's.
+
+        ``workers`` is the legacy per-call keyword; when given it
+        overrides the resolved options' worker count.
+        """
+        if options is None:
+            options = self.options
+        else:
+            options = RunOptions.coerce(options)
+        if workers is not None and workers != options.workers:
+            options = options.replace(workers=workers)
+        return options
+
+    def run(self, config, workload, seed=0, max_references=None,
+            label=None, options=None):
         """One cold-start run; returns a :class:`RunResult`.
 
         Parameters
@@ -139,17 +177,34 @@ class ExperimentRunner:
             Repetition seed mixed into the workload's RNG.
         max_references:
             Optional cap on references simulated (smoke tests).
+        label:
+            Optional name carried into trace events and the run's
+            observation (never into the result itself).
+        options:
+            Per-call :class:`~repro.options.RunOptions` overriding the
+            runner's own for this run only.
         """
+        options = self._call_options(options)
         instance = workload.instantiate(config.page_bytes, seed=seed)
         machine = SpurMachine(config, instance.space_map)
         sanitizer = None
-        if self.sanitize:
+        if options.sanitize:
             from repro.sanitize.sanitizer import Sanitizer
 
-            sanitizer = Sanitizer(mode=self.sanitize)
+            sanitizer = Sanitizer(mode=options.sanitize)
             sanitizer.attach(machine)
-        if self.chunk_refs:
-            chunks = instance.access_chunks(self.chunk_refs)
+        observer = None
+        if options.observe:
+            from repro.observe.observer import RunObserver
+
+            # Attached after the sanitizer so epoch segmentation feeds
+            # the sanitizer-wrapped entry points.
+            observer = RunObserver(
+                epoch_refs=options.epoch_refs, label=label
+            )
+            observer.attach(machine)
+        if options.chunk_refs:
+            chunks = instance.access_chunks(options.chunk_refs)
             if max_references is not None:
                 chunks = _take_chunks(chunks, max_references)
             started = time.perf_counter()
@@ -163,8 +218,17 @@ class ExperimentRunner:
         host_seconds = time.perf_counter() - started
         if sanitizer is not None:
             sanitizer.check_now()
+        if observer is not None:
+            merge_started = time.perf_counter()
         swap_stats = machine.swap.stats
-        return RunResult(
+        events = machine.counters.snapshot().as_dict()
+        observation = None
+        if observer is not None:
+            observer.charge(
+                "merge", time.perf_counter() - merge_started
+            )
+            observation = observer.finish()
+        result = RunResult(
             workload=instance.name,
             config_name=config.name,
             memory_bytes=config.memory_bytes,
@@ -173,56 +237,92 @@ class ExperimentRunner:
             seed=seed,
             references=machine.references,
             cycles=machine.cycles,
-            events=machine.counters.snapshot().as_dict(),
+            events=events,
             page_ins=swap_stats.page_ins,
             page_outs=swap_stats.page_outs,
             zero_fills=swap_stats.zero_fills,
             potentially_modified=swap_stats.potentially_modified,
             not_modified=swap_stats.not_modified,
             host_seconds=host_seconds,
+            observation=observation,
         )
+        if options.trace_sink is not None:
+            from repro.observe.sinks import emit_run
 
-    def run_many(self, specs, workers=1):
+            emit_run(options.trace_sink, result, label=label)
+        return result
+
+    def run_many(self, specs, workers=None, options=None, labels=None):
         """Run ``(config, workload, seed, max_references)`` specs.
 
         The building block the multi-run entry points (and
         :class:`~repro.analysis.sweeps.SweepDriver`) share: resolves
         each spec against the runner's cache, simulates misses over
-        ``workers`` processes, and returns results in spec order.
-        With ``workers=1`` and no cache this is exactly a loop over
-        :meth:`run`.
+        worker processes, and returns results in spec order.  Serial,
+        uncached, untraced calls are exactly a loop over :meth:`run`.
+
+        ``workers`` is the legacy per-call keyword; ``options`` (a
+        :class:`~repro.options.RunOptions`) is the documented way to
+        set workers, caching, and observation per call.  ``labels``
+        optionally names each spec for trace events and observations.
         """
         specs = list(specs)
-        if workers <= 1 and self.cache is None:
+        options = self._call_options(options, workers)
+        cache = self.cache
+        if options is not self.options and options.cache_dir:
+            cache = options.build_cache()
+        if labels is None:
+            labels = [None] * len(specs)
+        plain_serial = (
+            options.workers <= 1 and cache is None
+            and options.trace_sink is None and not options.progress
+        )
+        if plain_serial:
             return [
                 self.run(config, workload, seed=seed,
-                         max_references=max_references)
-                for config, workload, seed, max_references in specs
+                         max_references=max_references,
+                         label=label, options=options)
+                for (config, workload, seed, max_references), label
+                in zip(specs, labels)
             ]
         from repro.parallel import RunCell, execute_cells
 
         cells = [
             RunCell(config, workload, seed=seed,
                     max_references=max_references,
-                    sanitize=self.sanitize,
-                    chunk_refs=self.chunk_refs)
-            for config, workload, seed, max_references in specs
+                    sanitize=options.sanitize,
+                    chunk_refs=options.chunk_refs,
+                    label=label,
+                    observe=options.observe,
+                    epoch_refs=options.epoch_refs)
+            for (config, workload, seed, max_references), label
+            in zip(specs, labels)
         ]
-        return execute_cells(cells, workers=workers, cache=self.cache)
+        return execute_cells(
+            cells, workers=options.workers, cache=cache,
+            sink=options.trace_sink, progress=options.progress,
+        )
 
     def run_repetitions(self, config, workload, repetitions=5,
-                        max_references=None, workers=1):
-        """Independent repetitions with distinct seeds."""
+                        max_references=None, workers=None,
+                        options=None):
+        """Independent repetitions with distinct seeds.
+
+        ``workers`` is the legacy keyword; pass ``options`` (a
+        :class:`~repro.options.RunOptions`) for the full knob set.
+        """
         return self.run_many(
             [
                 (config, workload, self.rep_seed(rep), max_references)
                 for rep in range(repetitions)
             ],
             workers=workers,
+            options=options,
+            labels=[f"rep{rep}" for rep in range(repetitions)],
         )
 
     def run_matrix(self, points, repetitions=1, randomize=True,
-                   max_references=None, workers=1):
+                   max_references=None, workers=None, options=None):
         """Run a list of ``(label, config, workload)`` points.
 
         Labels must be unique: duplicates would silently interleave
@@ -235,7 +335,10 @@ class ExperimentRunner:
         here only for honest wall-clock interleaving, but is kept for
         methodological fidelity.  Returns ``{label: [RunResult, ...]}``
         with repetitions in seed order regardless of execution order
-        or ``workers`` count.
+        or worker count.
+
+        ``workers`` is the legacy keyword; pass ``options`` (a
+        :class:`~repro.options.RunOptions`) for the full knob set.
         """
         label_counts = Counter(label for label, _, _ in points)
         duplicates = [
@@ -261,10 +364,23 @@ class ExperimentRunner:
                 for _, config, workload, rep in cells
             ],
             workers=workers,
+            options=options,
+            labels=[
+                f"{_label_text(label)}/rep{rep}" if repetitions > 1
+                else _label_text(label)
+                for label, _, _, rep in cells
+            ],
         )
         for (label, _, _, rep), result in zip(cells, outcomes):
             results[label][rep] = result
         return results
+
+
+def _label_text(label):
+    """Render a matrix point label (string or tuple) for telemetry."""
+    if isinstance(label, tuple):
+        return "/".join(str(part) for part in label)
+    return str(label)
 
 
 def _take(iterator, count):

@@ -466,6 +466,24 @@ class SpurMachine:
         """Counter snapshot (delta arithmetic supported)."""
         return self.counters.snapshot()
 
+    def observe_state(self):
+        """Cumulative ``(references, cycles, counter snapshot)``.
+
+        The sampling hook the observability layer polls at epoch
+        boundaries; reads existing state only, never mutates.
+        """
+        return self.references, self.cycles, self.counters.snapshot()
+
+    def observation_alignment(self):
+        """Reference alignment an observer's epochs must respect.
+
+        ``run``/``run_chunks`` restart the page-daemon poll schedule
+        per call, so an observer that re-segments the stream must cut
+        only at multiples of the poll interval to replay the exact
+        unobserved schedule.  With polling disabled any boundary works.
+        """
+        return self.config.daemon_poll_refs or 1
+
     def __repr__(self):
         return (
             f"SpurMachine({self.name!r}, "

@@ -216,6 +216,23 @@ class SmpSystem:
     def references(self):
         return sum(cpu.references for cpu in self.cpus)
 
+    def observe_state(self):
+        """Cumulative ``(references, cycles, counter snapshot)``.
+
+        Aggregates across the boards; the counter bank is shared, so
+        the snapshot already reflects every CPU.
+        """
+        return self.references, self.cycles, self.counters.snapshot()
+
+    def observation_alignment(self):
+        """SMP observers sample post-slice and never re-segment.
+
+        Because no stream is re-cut, there is no poll schedule to
+        preserve and any epoch cadence is exact (at quantum
+        granularity).
+        """
+        return 1
+
     def __repr__(self):
         return (
             f"SmpSystem({len(self.cpus)} cpus, "

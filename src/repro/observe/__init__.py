@@ -1,0 +1,75 @@
+"""Observability: counter time series, trace events, progress, reports.
+
+Everything in this package watches the simulator without perturbing
+it.  The contract, borrowed from ``host_seconds`` on
+:class:`~repro.machine.runner.RunResult`: telemetry lives *alongside*
+results, never inside result equality or the result cache, and an
+observed run is bit-identical to an unobserved one.
+
+The pieces:
+
+- :class:`RunObserver` / :func:`observe` — attach to a machine and
+  sample the counter bank every ``epoch_refs`` references.
+- :class:`EpochSample` / :class:`RunObservation` — the sampled series
+  plus the per-phase wall-clock profile.
+- Sinks (:class:`JsonlSink`, :class:`MemorySink`, :class:`NullSink`)
+  and emitters — structured JSON-lines trace events.
+- :class:`CampaignProgress` — live cells-done/cached/failed/ETA line
+  for campaign runs.
+- :mod:`repro.observe.report` — read a trace back and summarise or
+  export it (the ``repro observe report`` subcommand).
+"""
+
+from repro.observe.observer import (
+    RunObserver,
+    effective_epoch_refs,
+    observe,
+)
+from repro.observe.progress import CampaignProgress
+from repro.observe.report import (
+    TraceSummary,
+    read_trace,
+    render_report,
+    summarize_trace,
+    trajectories_json,
+    trajectory_rows,
+    write_trajectories_csv,
+)
+from repro.observe.series import (
+    CSV_HEADER,
+    DEFAULT_EPOCH_REFS,
+    EpochSample,
+    RunObservation,
+)
+from repro.observe.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    emit_cell,
+    emit_run,
+    stamp,
+)
+
+__all__ = [
+    "CSV_HEADER",
+    "CampaignProgress",
+    "DEFAULT_EPOCH_REFS",
+    "EpochSample",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "RunObservation",
+    "RunObserver",
+    "TraceSummary",
+    "effective_epoch_refs",
+    "emit_cell",
+    "emit_run",
+    "observe",
+    "read_trace",
+    "render_report",
+    "stamp",
+    "summarize_trace",
+    "trajectories_json",
+    "trajectory_rows",
+    "write_trajectories_csv",
+]

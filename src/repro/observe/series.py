@@ -1,0 +1,205 @@
+"""Counter time series: epoch samples and per-run observations.
+
+The paper's measurement scripts could only read SPUR's sixteen
+counters at run boundaries; the simulator is not so constrained.  An
+attached :class:`~repro.observe.observer.RunObserver` snapshots the
+full counter bank every *epoch* (a fixed number of references), and
+the records here hold what it saw:
+
+:class:`EpochSample`
+    One snapshot: cumulative references, cycles, and counter values
+    at an epoch boundary.  Values are cumulative — the series of any
+    event is monotone non-decreasing — because that is what the
+    hardware counters themselves expose; per-epoch deltas are derived.
+
+:class:`RunObservation`
+    Everything observed about one run: the sample series, the
+    effective epoch cadence, and the phase profile (wall-clock
+    attribution of workload generation vs. simulation).  Observations
+    ride *alongside* a :class:`~repro.machine.runner.RunResult` —
+    excluded from result equality and from the result cache, exactly
+    like ``host_seconds`` — so observing a run can never change what
+    the run measured.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.counters.events import Event
+
+#: Default references per observation epoch.  Matches the default
+#: page-daemon poll interval so the epoch schedule needs no rounding
+#: on stock configurations (see ``RunObserver`` for the alignment
+#: rule).
+DEFAULT_EPOCH_REFS = 65536
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """Cumulative machine state captured at one epoch boundary."""
+
+    references: int
+    cycles: int
+    events: Dict[Event, int]
+
+    def event(self, event):
+        """Cumulative count of one event at this sample (0 if unseen)."""
+        return self.events.get(event, 0)
+
+    def to_json_dict(self):
+        """JSON-ready rendering with event names as keys."""
+        return {
+            "references": self.references,
+            "cycles": self.cycles,
+            "events": {
+                event.name: count
+                for event, count in sorted(
+                    self.events.items(), key=lambda item: item[0].name
+                )
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload):
+        """Rebuild a sample from :meth:`to_json_dict` output."""
+        return cls(
+            references=payload["references"],
+            cycles=payload["cycles"],
+            events={
+                Event[name]: count
+                for name, count in payload["events"].items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class RunObservation:
+    """The complete telemetry of one observed run.
+
+    ``samples`` always starts with the attach-time baseline (sample 0,
+    usually all zeros on a cold machine) and ends with a stream-end
+    sample, so ``samples[-1]`` matches the run's final counter totals.
+    ``phases`` maps phase names (``"generate"``, ``"simulate"``, and —
+    when the runner adds it — ``"merge"``) to host seconds.
+    """
+
+    label: Optional[str] = None
+    epoch_refs: int = DEFAULT_EPOCH_REFS
+    samples: Tuple[EpochSample, ...] = ()
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    def series(self, event):
+        """``[(references, cumulative count), ...]`` for one event."""
+        return [
+            (sample.references, sample.event(event))
+            for sample in self.samples
+        ]
+
+    def deltas(self, event):
+        """Per-epoch increments of one event between samples."""
+        values = [sample.event(event) for sample in self.samples]
+        return [
+            later - earlier
+            for earlier, later in zip(values, values[1:])
+        ]
+
+    def final(self, event):
+        """The event's cumulative count at the last sample."""
+        if not self.samples:
+            return 0
+        return self.samples[-1].event(event)
+
+    @property
+    def references(self):
+        """References covered by the observation (last sample)."""
+        if not self.samples:
+            return 0
+        return self.samples[-1].references - self.samples[0].references
+
+    def events_seen(self):
+        """Every event that appears in any sample, sorted by name."""
+        seen = set()
+        for sample in self.samples:
+            seen.update(sample.events)
+        return sorted(seen, key=lambda event: event.name)
+
+    def refs_per_second(self, phase="simulate"):
+        """References per host second attributed to one phase."""
+        seconds = self.phases.get(phase, 0.0)
+        if seconds <= 0.0:
+            return 0.0
+        return self.references / seconds
+
+    def is_monotone(self):
+        """Whether every cumulative series is non-decreasing.
+
+        True for any observation of a real run — counters only count
+        up (modulo the 32-bit wrap, which no scaled run approaches) —
+        so the equivalence tests assert it as a sanity invariant.
+        """
+        for event in self.events_seen():
+            values = [sample.event(event) for sample in self.samples]
+            if any(b < a for a, b in zip(values, values[1:])):
+                return False
+        refs = [sample.references for sample in self.samples]
+        cycles = [sample.cycles for sample in self.samples]
+        return (
+            all(b >= a for a, b in zip(refs, refs[1:]))
+            and all(b >= a for a, b in zip(cycles, cycles[1:]))
+        )
+
+    def to_json_dict(self):
+        """JSON-ready rendering (event names, not enum objects)."""
+        return {
+            "label": self.label,
+            "epoch_refs": self.epoch_refs,
+            "samples": [
+                sample.to_json_dict() for sample in self.samples
+            ],
+            "phases": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.phases.items())
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload):
+        """Rebuild an observation from :meth:`to_json_dict` output."""
+        return cls(
+            label=payload.get("label"),
+            epoch_refs=payload["epoch_refs"],
+            samples=tuple(
+                EpochSample.from_json_dict(item)
+                for item in payload["samples"]
+            ),
+            phases=dict(payload.get("phases", {})),
+        )
+
+    def csv_rows(self):
+        """Long-format rows for plotting counter trajectories.
+
+        Yields ``(label, sample, references, cycles, event, count)``
+        tuples — one row per (sample, event) pair — matching the
+        header :data:`CSV_HEADER`.
+        """
+        label = self.label or ""
+        for index, sample in enumerate(self.samples):
+            for event in self.events_seen():
+                yield (
+                    label, index, sample.references, sample.cycles,
+                    event.name, sample.event(event),
+                )
+
+
+#: Column names matching :meth:`RunObservation.csv_rows`.
+CSV_HEADER = (
+    "label", "sample", "references", "cycles", "event", "count",
+)
+
+
+__all__ = [
+    "CSV_HEADER",
+    "DEFAULT_EPOCH_REFS",
+    "EpochSample",
+    "RunObservation",
+]

@@ -22,16 +22,25 @@ from repro.parallel.cache import (
     result_to_payload,
     workload_spec,
 )
-from repro.parallel.executor import RunCell, execute_cells
+from repro.parallel.executor import (
+    CampaignError,
+    CellFailure,
+    RunCell,
+    execute_cells,
+    simulate_cell,
+)
 
 __all__ = [
     "CACHE_FORMAT",
     "CacheKeyError",
+    "CampaignError",
+    "CellFailure",
     "ResultCache",
     "RunCell",
     "cache_key",
     "execute_cells",
     "result_from_payload",
     "result_to_payload",
+    "simulate_cell",
     "workload_spec",
 ]

@@ -8,14 +8,28 @@ and returns results in the order the cells were given.  Because every
 cell is fully determined by its inputs and cells share no state, the
 worker count changes wall-clock time only: the returned
 :class:`~repro.machine.runner.RunResult` list is bit-identical for any
-``workers`` value (``host_seconds``, which is excluded from result
-equality, is the lone per-host field).
+``workers`` value (``host_seconds`` and ``observation``, both excluded
+from result equality, are the lone per-host fields).
+
+Failures degrade gracefully: a cell that raises never aborts the
+campaign.  Remaining cells run to completion, each failure is recorded
+as a :class:`CellFailure` naming the cell's label and seed, and a
+single :class:`CampaignError` carrying the failures *and* the partial
+results is raised at the end — so a 40-cell campaign with one bad cell
+still yields 39 results and one precise diagnosis instead of a bare
+mid-pool traceback.
+
+Observability is parent-side only: workers return their counter series
+inside ``RunResult.observation``; the parent emits trace events to the
+optional ``sink`` and drives the optional ``progress`` reporter.
 """
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.common.errors import ReproError
+from repro.observe.series import DEFAULT_EPOCH_REFS
 from repro.parallel.cache import CacheKeyError, cache_key
 from repro.workloads.base import DEFAULT_CHUNK_REFS
 
@@ -31,7 +45,13 @@ class RunCell:
     of the cache key because the sanitizer observes without altering
     results.  ``chunk_refs`` selects the batched hot-loop path (0 =
     legacy tuple stream); it is likewise excluded from the cache key
-    because both paths produce bit-identical results.
+    because both paths produce bit-identical results.  ``label``
+    names the cell in trace events, progress lines, and failure
+    reports; ``observe``/``epoch_refs`` attach a
+    :class:`~repro.observe.observer.RunObserver` in the worker, whose
+    series ride back on ``RunResult.observation``.  None of the new
+    fields enter the cache key — telemetry never changes what a run
+    measures.
     """
 
     config: Any
@@ -40,6 +60,52 @@ class RunCell:
     max_references: Optional[int] = None
     sanitize: Optional[str] = None
     chunk_refs: int = DEFAULT_CHUNK_REFS
+    label: Optional[str] = None
+    observe: bool = False
+    epoch_refs: int = DEFAULT_EPOCH_REFS
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed campaign cell, with enough context to re-run it."""
+
+    index: int
+    label: Optional[str]
+    seed: int
+    workload: str
+    config: Optional[str]
+    error: str
+
+    def describe(self):
+        """One-line human-readable rendering."""
+        name = self.label or f"cell {self.index}"
+        return (
+            f"{name} (workload={self.workload}, seed={self.seed}): "
+            f"{self.error}"
+        )
+
+
+class CampaignError(ReproError):
+    """One or more campaign cells failed (the rest completed).
+
+    Carries ``failures`` (a list of :class:`CellFailure`) and
+    ``results`` — the full result list in cell order, with ``None``
+    at each failed index — so callers can report precisely and still
+    use the partial campaign.
+    """
+
+    def __init__(self, failures, results):
+        self.failures = list(failures)
+        self.results = results
+        lines = "; ".join(
+            failure.describe() for failure in self.failures[:3]
+        )
+        if len(self.failures) > 3:
+            lines += f"; ... ({len(self.failures)} failures total)"
+        super().__init__(
+            f"{len(self.failures)} of {len(results)} campaign cells "
+            f"failed: {lines}"
+        )
 
 
 def simulate_cell(cell):
@@ -50,17 +116,34 @@ def simulate_cell(cell):
     leaks between cells regardless of which process runs them.
     """
     from repro.machine.runner import ExperimentRunner
+    from repro.options import RunOptions
 
-    runner = ExperimentRunner(
-        sanitize=cell.sanitize, chunk_refs=cell.chunk_refs
-    )
+    runner = ExperimentRunner(options=RunOptions(
+        chunk_refs=cell.chunk_refs,
+        sanitize=cell.sanitize,
+        observe=cell.observe,
+        epoch_refs=cell.epoch_refs,
+    ))
     return runner.run(
         cell.config, cell.workload, seed=cell.seed,
-        max_references=cell.max_references,
+        max_references=cell.max_references, label=cell.label,
     )
 
 
-def execute_cells(cells, workers=1, cache=None):
+def _failure(index, cell, error):
+    """Build the :class:`CellFailure` record for one raised cell."""
+    return CellFailure(
+        index=index,
+        label=cell.label,
+        seed=cell.seed,
+        workload=type(cell.workload).__name__,
+        config=getattr(cell.config, "name", None),
+        error=f"{type(error).__name__}: {error}",
+    )
+
+
+def execute_cells(cells, workers=1, cache=None, sink=None,
+                  progress=None):
     """Execute *cells*, returning results in the given cell order.
 
     Parameters
@@ -74,10 +157,25 @@ def execute_cells(cells, workers=1, cache=None):
         misses are simulated then stored.  Cells whose inputs cannot
         be canonically hashed (:class:`CacheKeyError`) are simulated
         unconditionally and never stored — correctness first.
+    sink:
+        Optional trace sink (``emit(dict)``); receives campaign,
+        cell, and worker-pool lifecycle events plus each completed
+        run's records (parent process only).
+    progress:
+        ``True`` for a stderr progress line, or a
+        :class:`~repro.observe.progress.CampaignProgress` instance.
+
+    Raises :class:`CampaignError` after all cells have been given
+    their chance if any cell failed; successful results (and cache
+    stores) survive the error.
     """
+    from repro.observe.progress import CampaignProgress
+    from repro.observe.sinks import emit_cell, emit_run, stamp
+
     cells = list(cells)
     results = [None] * len(cells)
     keys = [None] * len(cells)
+    hits = []
     pending = []
     for index, cell in enumerate(cells):
         if cache is not None:
@@ -92,25 +190,96 @@ def execute_cells(cells, workers=1, cache=None):
                 hit = cache.get(keys[index])
                 if hit is not None:
                     results[index] = hit
+                    hits.append(index)
                     continue
         pending.append(index)
 
+    progress = CampaignProgress.coerce(progress, len(cells))
+    if sink is not None:
+        sink.emit(stamp({
+            "type": "campaign_started",
+            "cells": len(cells),
+            "cached": len(hits),
+            "workers": workers,
+        }))
+    for index in hits:
+        emit_cell(sink, "cell_cached", index, cells[index])
+        if progress is not None:
+            progress.cell_cached()
+
+    failures = []
+
+    def record(index, outcome):
+        """Fold one finished/raised cell into results and telemetry."""
+        cell = cells[index]
+        if isinstance(outcome, BaseException):
+            failures.append(_failure(index, cell, outcome))
+            emit_cell(sink, "cell_failed", index, cell,
+                      error=f"{type(outcome).__name__}: {outcome}")
+            if progress is not None:
+                progress.cell_failed()
+        else:
+            results[index] = outcome
+            emit_run(sink, outcome, label=cell.label)
+            emit_cell(sink, "cell_finished", index, cell)
+            if progress is not None:
+                progress.cell_finished()
+
     if workers <= 1 or len(pending) <= 1:
         for index in pending:
-            results[index] = simulate_cell(cells[index])
+            try:
+                outcome = simulate_cell(cells[index])
+            except Exception as error:
+                outcome = error
+            record(index, outcome)
     else:
         pool_size = min(workers, len(pending))
+        if sink is not None:
+            sink.emit(stamp({
+                "type": "worker_pool_started",
+                "workers": pool_size,
+                "cells": len(pending),
+            }))
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            outcomes = pool.map(
-                simulate_cell, [cells[index] for index in pending]
-            )
-            for index, result in zip(pending, outcomes):
-                results[index] = result
+            futures = {
+                pool.submit(simulate_cell, cells[index]): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    error = future.exception()
+                    record(
+                        futures[future],
+                        error if error is not None
+                        else future.result(),
+                    )
+        if sink is not None:
+            sink.emit(stamp({
+                "type": "worker_pool_finished",
+                "workers": pool_size,
+            }))
 
     if cache is not None:
         # Stores happen in the parent, after the pool has drained, so
         # concurrent workers never race on the cache directory.
         for index in pending:
-            if keys[index] is not None:
+            if keys[index] is not None and results[index] is not None:
                 cache.put(keys[index], results[index])
+
+    if progress is not None:
+        progress.finish()
+    if sink is not None:
+        sink.emit(stamp({
+            "type": "campaign_finished",
+            "cells": len(cells),
+            "cached": len(hits),
+            "failed": len(failures),
+        }))
+    if failures:
+        failures.sort(key=lambda failure: failure.index)
+        raise CampaignError(failures, results)
     return results

@@ -41,6 +41,7 @@ from repro.workloads.tracefile import (
 )
 from repro.workloads.recorded import RecordedWorkload, record_workload
 from repro.workloads.scripted import ScriptedWorkload
+from repro.workloads.catalog import workload_by_name
 
 __all__ = [
     "DEFAULT_CHUNK_REFS",
@@ -66,5 +67,6 @@ __all__ = [
     "read_trace_chunks",
     "record_workload",
     "serial",
+    "workload_by_name",
     "write_trace",
 ]

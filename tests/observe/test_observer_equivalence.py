@@ -1,0 +1,151 @@
+"""Observation is provably inert: observed == unobserved, bitwise.
+
+The tentpole contract of the observe layer, asserted across the same
+workload x dirty-policy x reference-policy grid the chunked-equivalence
+suite uses: attaching a RunObserver (which re-segments the reference
+stream at epoch boundaries) must leave every counter, cycle count, and
+VM total of the RunResult exactly as an unobserved run produces them —
+on the chunked path, the legacy tuple path, and SMP systems alike.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.machine.smp import SmpSystem
+from repro.options import RunOptions
+from repro.workloads.base import READ, WRITE
+
+from tests.conftest import simple_space, tiny_config
+from tests.machine.test_chunked_equivalence import (
+    DIRTY_POLICIES,
+    REFERENCE_POLICIES,
+    machine_state,
+    make_workload,
+    mixed_trace,
+    recorded_trace,  # noqa: F401  (fixture re-export)
+)
+
+#: Epoch deliberately *not* a poll multiple: 500 rounds up to 512
+#: against daemon_poll_refs=256, exercising the alignment rule.
+EPOCH_REFS = 500
+
+
+def grid_config(dirty, ref):
+    return dataclasses.replace(
+        scaled_config(memory_ratio=24, scale=8, dirty_policy=dirty,
+                      reference_policy=ref),
+        daemon_poll_refs=256,
+    )
+
+
+def check_observation(result):
+    observation = result.observation
+    assert observation is not None
+    assert observation.epoch_refs == 512
+    assert observation.is_monotone()
+    assert observation.references == result.references
+    last = observation.samples[-1]
+    assert last.cycles == result.cycles
+    for event, count in last.events.items():
+        assert result.event(event) == count
+
+
+class TestObservedEqualsUnobserved:
+    @pytest.mark.parametrize("dirty,ref", [
+        (dirty, ref)
+        for dirty in DIRTY_POLICIES
+        for ref in REFERENCE_POLICIES
+    ])
+    @pytest.mark.parametrize("workload_name", [
+        "workload1", "slc", "devsystem", "scripted", "recorded",
+    ])
+    def test_grid(self, workload_name, dirty, ref, recorded_trace):
+        config = grid_config(dirty, ref)
+        plain = ExperimentRunner().run(
+            config, make_workload(workload_name, recorded_trace),
+            seed=1, max_references=2000,
+        )
+        observed = ExperimentRunner(options=RunOptions(
+            observe=True, epoch_refs=EPOCH_REFS,
+        )).run(
+            config, make_workload(workload_name, recorded_trace),
+            seed=1, max_references=2000,
+        )
+        assert observed == plain
+        assert plain.observation is None
+        check_observation(observed)
+
+    def test_legacy_tuple_path(self, recorded_trace):
+        config = grid_config("SPUR", "MISS")
+        plain = ExperimentRunner(chunk_refs=0).run(
+            config, make_workload("slc", recorded_trace),
+            seed=1, max_references=2000,
+        )
+        observed = ExperimentRunner(options=RunOptions(
+            chunk_refs=0, observe=True, epoch_refs=EPOCH_REFS,
+        )).run(
+            config, make_workload("slc", recorded_trace),
+            seed=1, max_references=2000,
+        )
+        assert observed == plain
+        check_observation(observed)
+
+    def test_epoch_cadence_one_poll_interval(self, recorded_trace):
+        # The tightest legal cadence: one sample per poll interval.
+        config = grid_config("SPUR", "MISS")
+        plain = ExperimentRunner().run(
+            config, make_workload("scripted", recorded_trace),
+            seed=1, max_references=2000,
+        )
+        observed = ExperimentRunner(options=RunOptions(
+            observe=True, epoch_refs=1,
+        )).run(
+            config, make_workload("scripted", recorded_trace),
+            seed=1, max_references=2000,
+        )
+        assert observed == plain
+        assert observed.observation.epoch_refs == 256
+        # 2000 refs / 256-ref epochs: baseline + 7 epochs + final.
+        assert len(observed.observation.samples) == 9
+
+
+class TestSmpObservedEqualsUnobserved:
+    def build(self):
+        space_map, regions = simple_space()
+        system = SmpSystem(tiny_config(daemon_poll_refs=64),
+                           space_map, num_cpus=2)
+        streams = [
+            mixed_trace(regions, 2100),
+            [(READ, regions["heap"].start + (i * 7 % 64) * 32)
+             for i in range(1500)],
+        ]
+        return system, streams
+
+    def test_interleaved_identical(self):
+        from repro.observe.observer import observe
+
+        plain_system, streams = self.build()
+        total_plain = plain_system.run_interleaved(streams,
+                                                   quantum=512)
+
+        observed_system, streams = self.build()
+        observer = observe(observed_system, epoch_refs=1000)
+        total_observed = observed_system.run_interleaved(
+            streams, quantum=512
+        )
+        observation = observer.finish()
+
+        assert total_observed == total_plain
+        assert (observed_system.cycles, observed_system.references) \
+            == (plain_system.cycles, plain_system.references)
+        for plain_cpu, observed_cpu in zip(
+            plain_system.cpus, observed_system.cpus
+        ):
+            assert machine_state(observed_cpu) == machine_state(
+                plain_cpu
+            )
+        assert observation.is_monotone()
+        assert observation.references == 3600

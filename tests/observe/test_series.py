@@ -1,0 +1,112 @@
+"""EpochSample / RunObservation record semantics."""
+
+import pytest
+
+from repro.counters.events import Event
+from repro.observe.series import (
+    CSV_HEADER,
+    DEFAULT_EPOCH_REFS,
+    EpochSample,
+    RunObservation,
+)
+
+
+def sample(references, cycles, **events):
+    return EpochSample(
+        references=references,
+        cycles=cycles,
+        events={Event[name]: count for name, count in events.items()},
+    )
+
+
+def observation(**kwargs):
+    kwargs.setdefault("label", "test")
+    kwargs.setdefault("epoch_refs", 100)
+    kwargs.setdefault("samples", (
+        sample(0, 0),
+        sample(100, 450, DIRTY_FAULT=3, REFERENCE_FAULT=1),
+        sample(200, 900, DIRTY_FAULT=5, REFERENCE_FAULT=4),
+        sample(250, 1200, DIRTY_FAULT=5, REFERENCE_FAULT=9),
+    ))
+    return RunObservation(**kwargs)
+
+
+class TestEpochSample:
+    def test_event_defaults_to_zero(self):
+        snap = sample(10, 20, DIRTY_FAULT=2)
+        assert snap.event(Event.DIRTY_FAULT) == 2
+        assert snap.event(Event.REFERENCE_FAULT) == 0
+
+    def test_json_round_trip(self):
+        snap = sample(10, 20, DIRTY_FAULT=2, ZERO_FILL_PAGE=7)
+        payload = snap.to_json_dict()
+        assert payload["events"] == {"DIRTY_FAULT": 2, "ZERO_FILL_PAGE": 7}
+        assert EpochSample.from_json_dict(payload) == snap
+
+    def test_json_event_keys_are_names_sorted(self):
+        snap = sample(1, 1, ZERO_FILL_PAGE=1, DIRTY_FAULT=1)
+        names = list(snap.to_json_dict()["events"])
+        assert names == sorted(names)
+
+
+class TestRunObservation:
+    def test_series_is_cumulative(self):
+        obs = observation()
+        assert obs.series(Event.DIRTY_FAULT) == [
+            (0, 0), (100, 3), (200, 5), (250, 5),
+        ]
+
+    def test_deltas_are_per_epoch_increments(self):
+        obs = observation()
+        assert obs.deltas(Event.DIRTY_FAULT) == [3, 2, 0]
+        assert obs.deltas(Event.REFERENCE_FAULT) == [1, 3, 5]
+
+    def test_final_and_references(self):
+        obs = observation()
+        assert obs.final(Event.DIRTY_FAULT) == 5
+        assert obs.references == 250
+
+    def test_empty_observation(self):
+        obs = RunObservation()
+        assert obs.references == 0
+        assert obs.final(Event.DIRTY_FAULT) == 0
+        assert obs.series(Event.DIRTY_FAULT) == []
+        assert obs.is_monotone()
+        assert obs.epoch_refs == DEFAULT_EPOCH_REFS
+
+    def test_events_seen_sorted_by_name(self):
+        obs = observation()
+        names = [event.name for event in obs.events_seen()]
+        assert names == sorted(names)
+        assert Event.DIRTY_FAULT in obs.events_seen()
+
+    def test_monotone_detects_regression(self):
+        good = observation()
+        assert good.is_monotone()
+        bad = observation(samples=(
+            sample(0, 0, DIRTY_FAULT=5),
+            sample(100, 10, DIRTY_FAULT=3),
+        ))
+        assert not bad.is_monotone()
+
+    def test_refs_per_second(self):
+        obs = observation(phases={"simulate": 0.5, "generate": 1.0})
+        assert obs.refs_per_second() == pytest.approx(500.0)
+        assert obs.refs_per_second("generate") == pytest.approx(250.0)
+        assert obs.refs_per_second("merge") == 0.0
+
+    def test_json_round_trip(self):
+        obs = observation(phases={"simulate": 0.25})
+        rebuilt = RunObservation.from_json_dict(obs.to_json_dict())
+        assert rebuilt == obs
+
+    def test_csv_rows_match_header(self):
+        obs = observation()
+        rows = list(obs.csv_rows())
+        events = len(obs.events_seen())
+        assert len(rows) == len(obs.samples) * events
+        assert all(len(row) == len(CSV_HEADER) for row in rows)
+        label, index, refs, cycles, name, count = rows[-1]
+        assert label == "test"
+        assert (index, refs, cycles) == (3, 250, 1200)
+        assert isinstance(name, str) and isinstance(count, int)

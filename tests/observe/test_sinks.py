@@ -1,0 +1,154 @@
+"""Trace sinks and the run/cell event emitters."""
+
+import json
+
+import pytest
+
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.options import RunOptions
+from repro.parallel.executor import RunCell
+from repro.observe.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    emit_cell,
+    emit_run,
+    stamp,
+)
+from repro.workloads.slc import SlcWorkload
+
+
+@pytest.fixture(scope="module")
+def observed_result():
+    config = scaled_config(memory_ratio=24, scale=8)
+    return ExperimentRunner(options=RunOptions(
+        observe=True, epoch_refs=500,
+    )).run(config, SlcWorkload(length_scale=0.01), seed=3,
+           max_references=2000, label="slc-demo")
+
+
+class TestStockSinks:
+    def test_null_sink_swallows(self):
+        sink = NullSink()
+        sink.emit({"type": "x"})
+        sink.close()
+
+    def test_memory_sink_collects_copies(self):
+        sink = MemorySink()
+        event = {"type": "a", "n": 1}
+        sink.emit(event)
+        event["n"] = 2
+        assert sink.events == [{"type": "a", "n": 1}]
+        assert sink.of_type("a") == [{"type": "a", "n": 1}]
+        assert sink.of_type("b") == []
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"type": "a", "n": 1})
+            sink.emit({"type": "b", "nested": {"k": [1, 2]}})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [
+            {"type": "a", "n": 1},
+            {"type": "b", "nested": {"k": [1, 2]}},
+        ]
+
+    def test_jsonl_append_mode(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"type": "a"})
+        with JsonlSink(path, mode="a") as sink:
+            sink.emit({"type": "b"})
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_stamp_adds_timestamp(self):
+        event = stamp({"type": "x"})
+        assert event["ts"] > 0
+
+
+class TestEmitRun:
+    def test_none_sink_is_noop(self, observed_result):
+        emit_run(None, observed_result)
+
+    def test_epochs_then_summary(self, observed_result):
+        sink = MemorySink()
+        emit_run(sink, observed_result)
+
+        epochs = sink.of_type("epoch")
+        assert len(epochs) == len(
+            observed_result.observation.samples
+        )
+        assert [event["sample"] for event in epochs] == list(
+            range(len(epochs))
+        )
+        first = epochs[0]
+        assert first["label"] == "slc-demo"
+        assert first["workload"] == observed_result.workload
+        assert first["seed"] == 3
+
+        assert sink.events[-1]["type"] == "run_finished"
+        finished = sink.events[-1]
+        assert finished["references"] == observed_result.references
+        assert finished["cycles"] == observed_result.cycles
+        assert finished["epoch_refs"] == (
+            observed_result.observation.epoch_refs
+        )
+        assert finished["samples"] == len(epochs)
+        assert set(finished["phases"]) >= {"generate", "simulate"}
+
+    def test_epoch_counts_match_samples(self, observed_result):
+        sink = MemorySink()
+        emit_run(sink, observed_result)
+        for event, sample in zip(
+            sink.of_type("epoch"),
+            observed_result.observation.samples,
+        ):
+            assert event["references"] == sample.references
+            assert event["cycles"] == sample.cycles
+            assert sum(event["events"].values()) == sum(
+                sample.events.values()
+            )
+
+    def test_label_falls_back_to_observation(self, observed_result):
+        sink = MemorySink()
+        emit_run(sink, observed_result, label=None)
+        assert sink.events[-1]["label"] == "slc-demo"
+
+    def test_unobserved_run_is_summary_only(self):
+        config = scaled_config(memory_ratio=24, scale=8)
+        result = ExperimentRunner().run(
+            config, SlcWorkload(length_scale=0.01), seed=3,
+            max_references=500,
+        )
+        sink = MemorySink()
+        emit_run(sink, result, label="plain")
+        assert [event["type"] for event in sink.events] == [
+            "run_finished"
+        ]
+        assert "epoch_refs" not in sink.events[0]
+
+
+class TestEmitCell:
+    def test_cell_event_carries_identity(self):
+        cell = RunCell(
+            config=scaled_config(memory_ratio=24, scale=8),
+            workload=SlcWorkload(length_scale=0.01),
+            seed=7, label="grid/a",
+        )
+        sink = MemorySink()
+        emit_cell(sink, "cell_failed", 4, cell, error="boom")
+        event = sink.events[0]
+        assert event["type"] == "cell_failed"
+        assert event["cell"] == 4
+        assert event["label"] == "grid/a"
+        assert event["seed"] == 7
+        assert event["workload"] == "SlcWorkload"
+        assert event["error"] == "boom"
+
+    def test_none_sink_is_noop(self):
+        cell = RunCell(
+            config=scaled_config(memory_ratio=24, scale=8),
+            workload=SlcWorkload(length_scale=0.01),
+        )
+        emit_cell(None, "cell_finished", 0, cell)

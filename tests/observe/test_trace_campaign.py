@@ -1,0 +1,116 @@
+"""Campaign-level tracing: event vocabulary and zero result drift."""
+
+import pytest
+
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.observe.sinks import MemorySink
+from repro.options import RunOptions
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+MAX_REFS = 2000
+
+
+def specs():
+    return [
+        (scaled_config(memory_ratio=ratio, scale=8),
+         workload_type(length_scale=0.01), seed, MAX_REFS)
+        for ratio, workload_type, seed in [
+            (24, SlcWorkload, 1),
+            (24, Workload1, 1),
+            (48, SlcWorkload, 2),
+        ]
+    ]
+
+
+LABELS = ["slc/24", "w1/24", "slc/48"]
+
+
+class TestTracedCampaign:
+    def test_traced_campaign_has_zero_drift(self):
+        plain = ExperimentRunner().run_many(specs())
+
+        sink = MemorySink()
+        traced = ExperimentRunner(options=RunOptions(
+            observe=True, epoch_refs=500, trace_sink=sink,
+        )).run_many(specs(), labels=LABELS)
+
+        assert traced == plain
+        for result in traced:
+            assert result.observation is not None
+            assert result.observation.is_monotone()
+
+        types = [event["type"] for event in sink.events]
+        assert types[0] == "campaign_started"
+        assert types[-1] == "campaign_finished"
+        assert types.count("cell_finished") == 3
+        assert types.count("run_finished") == 3
+        assert types.count("cell_failed") == 0
+        assert sink.events[0]["cells"] == 3
+
+        finished_labels = [
+            event["label"]
+            for event in sink.of_type("run_finished")
+        ]
+        assert sorted(finished_labels) == sorted(LABELS)
+        assert len(sink.of_type("epoch")) == sum(
+            len(result.observation.samples) for result in traced
+        )
+
+    def test_cache_round_trip_keeps_results_identical(self, tmp_path):
+        options = RunOptions(cache_dir=str(tmp_path / "cache"),
+                             observe=True, epoch_refs=500)
+        first_sink = MemorySink()
+        first = ExperimentRunner(options=options.replace(
+            trace_sink=first_sink,
+        )).run_many(specs(), labels=LABELS)
+        assert first_sink.events[0]["cached"] == 0
+
+        second_sink = MemorySink()
+        second = ExperimentRunner(options=options.replace(
+            trace_sink=second_sink,
+        )).run_many(specs(), labels=LABELS)
+
+        assert second == first
+        types = [event["type"] for event in second_sink.events]
+        assert types.count("cell_cached") == 3
+        assert types.count("cell_finished") == 0
+        assert second_sink.events[0]["cached"] == 3
+        # Cache hits skip simulation: no series to report.
+        assert all(result.observation is None for result in second)
+
+    def test_worker_pool_events(self):
+        sink = MemorySink()
+        pooled = ExperimentRunner(options=RunOptions(
+            workers=2, observe=True, epoch_refs=500,
+            trace_sink=sink,
+        )).run_many(specs(), labels=LABELS)
+
+        assert pooled == ExperimentRunner().run_many(specs())
+        types = [event["type"] for event in sink.events]
+        assert types.count("worker_pool_started") == 1
+        assert types.count("worker_pool_finished") == 1
+        assert types.count("run_finished") == 3
+        # Workers return their series on the result; the parent
+        # emitted them, so epochs appear despite the process hop.
+        assert len(sink.of_type("epoch")) == sum(
+            len(result.observation.samples) for result in pooled
+        )
+
+    def test_progress_feeds_from_campaign(self):
+        import io
+
+        from repro.observe.progress import CampaignProgress
+
+        stream = io.StringIO()
+        progress = CampaignProgress(stream=stream)
+        ExperimentRunner(options=RunOptions(
+            progress=progress,
+        )).run_many(specs(), labels=LABELS)
+
+        assert progress.done == 3
+        assert progress.failed == 0
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 3
+        assert "3/3 cells done" in lines[-1]

@@ -13,9 +13,12 @@ import pytest
 
 PACKAGES = (
     "repro",
+    "repro.api",
     "repro.common",
     "repro.counters",
     "repro.cache",
+    "repro.observe",
+    "repro.options",
     "repro.translation",
     "repro.vm",
     "repro.policies",
@@ -46,8 +49,14 @@ MODULES = (
     "repro.machine.simulator",
     "repro.machine.smp",
     "repro.machine.runner",
+    "repro.observe.observer",
+    "repro.observe.progress",
+    "repro.observe.report",
+    "repro.observe.series",
+    "repro.observe.sinks",
     "repro.parallel.cache",
     "repro.parallel.executor",
+    "repro.workloads.catalog",
     "repro.workloads.synthetic",
     "repro.workloads.recorded",
     "repro.analysis.experiments",
