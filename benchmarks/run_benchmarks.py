@@ -28,8 +28,13 @@ at the repo root by default::
         --max-observe-overhead 0.25
 
 ``--check`` compares the fresh *speedups* (chunked over legacy, a
-host-speed-independent ratio) against a committed baseline file and
-exits nonzero on a regression beyond ``--max-regression``.
+host-speed-independent ratio) against a committed baseline file.
+Each trace shape is gated individually: the baseline's ``gates``
+section records an absolute ``min_speedup`` floor per shape, so the
+near-1.0 misses and writes ratios are held to "chunked must not fall
+behind legacy beyond noise" rather than the fractional tolerance
+that only ever bound the hit path.  Shapes without a recorded gate
+fall back to ``baseline speedup * (1 - --max-regression)``.
 ``--max-observe-overhead`` gates the fractional throughput cost of
 *enabled* observation (observed vs chunked, same host, same run).
 """
@@ -49,6 +54,16 @@ from bench_throughput import TRACES, tiny_machine  # noqa: E402
 from repro.observe.observer import RunObserver  # noqa: E402
 from repro.workloads.base import chunk_accesses  # noqa: E402
 
+#: Per-shape speedup floors written into fresh baselines.  The hits
+#: gate protects the batching win (measured 2.24x); the misses and
+#: writes gates only assert the chunked loop never falls behind the
+#: legacy loop beyond run-to-run noise (measured 1.03-1.04x).
+DEFAULT_GATES = {
+    "hits": {"min_speedup": 1.6},
+    "misses": {"min_speedup": 0.95},
+    "writes": {"min_speedup": 0.95},
+}
+
 
 def best_refs_per_second(fn, payload, refs, repeat):
     """Best-of-``repeat`` throughput of ``fn(payload)``."""
@@ -67,6 +82,16 @@ def observed_run_chunks(machine, chunks, epoch_refs):
         machine.run_chunks(chunks)
     finally:
         observer.detach()
+
+
+def load_gates(path):
+    """The ``gates`` section of *path*, or the defaults."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            gates = json.load(handle).get("gates")
+    except (OSError, ValueError):
+        gates = None
+    return gates if gates else dict(DEFAULT_GATES)
 
 
 def run_benchmarks(count, repeat, chunk_refs, epoch_refs):
@@ -121,20 +146,33 @@ def check_observe_overhead(results, max_overhead):
 
 
 def check_regression(results, baseline_path, max_regression):
-    """Nonzero if any shape's speedup regressed past the threshold."""
+    """Nonzero if any shape's speedup fell below its gate.
+
+    Every trace shape is judged on its own: a recorded
+    ``gates[shape]["min_speedup"]`` is an absolute floor; shapes the
+    baseline does not gate fall back to the fractional tolerance
+    against the baseline speedup.
+    """
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
+    gates = baseline.get("gates", {})
     failures = []
     for shape, fresh in results["traces"].items():
-        reference = baseline.get("traces", {}).get(shape)
-        if reference is None:
-            continue
-        floor = reference["speedup"] * (1.0 - max_regression)
+        gate = gates.get(shape, {})
+        if "min_speedup" in gate:
+            floor = gate["min_speedup"]
+            origin = f"gates.{shape}.min_speedup"
+        else:
+            reference = baseline.get("traces", {}).get(shape)
+            if reference is None:
+                continue
+            floor = reference["speedup"] * (1.0 - max_regression)
+            origin = (f"baseline {reference['speedup']:.3f} "
+                      f"- {max_regression:.0%}")
         if fresh["speedup"] < floor:
             failures.append(
                 f"{shape}: speedup {fresh['speedup']:.3f} below "
-                f"{floor:.3f} (baseline {reference['speedup']:.3f} "
-                f"- {max_regression:.0%})"
+                f"{floor:.3f} ({origin})"
             )
     for failure in failures:
         print(f"REGRESSION {failure}", file=sys.stderr)
@@ -177,6 +215,10 @@ def main(argv=None):
 
     results = run_benchmarks(args.count, args.repeat,
                              args.chunk_refs, args.epoch_refs)
+    # Carry the gate thresholds through a re-measure: they are policy,
+    # not measurement, so a fresh run must not clobber tuned values.
+    results["gates"] = load_gates(args.check or args.out
+                                  or str(ROOT / "BENCH_throughput.json"))
     text = json.dumps(results, indent=2, sort_keys=True)
     print(text)
     if args.out:

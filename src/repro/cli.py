@@ -447,6 +447,17 @@ def cmd_report(args):
     return 0 if all_passed else 1
 
 
+def cmd_lint(args):
+    """Delegate to the analysis CLI (:mod:`repro.lint.cli`).
+
+    The lint tool owns its own argument surface (``--explain``,
+    ``--format``, ``--baseline``...), so everything after ``lint`` is
+    forwarded verbatim rather than re-declared here."""
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_argv)
+
+
 def build_parser():
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -615,11 +626,27 @@ def build_parser():
     common(p_replay)
     p_replay.set_defaults(func=cmd_replay)
 
+    p_lint = sub.add_parser(
+        "lint", add_help=False,
+        help="whole-program static analysis (rules R001-R008)",
+    )
+    p_lint.add_argument("lint_argv", nargs=argparse.REMAINDER)
+    p_lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `lint` forwards its whole tail to the analysis CLI.  Done ahead
+    # of argparse because REMAINDER refuses leading option-like tokens
+    # (`repro lint --explain R006` would die as "unrecognized").
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,20 +1,53 @@
 """Repo-specific static analysis for the SPUR reproduction.
 
-Four rules encode discipline the simulator depends on but generic
+Eight rules encode discipline the simulator depends on but generic
 linters cannot check::
 
     python -m repro.lint src/
+
+Syntactic (per-file):
 
 * **R001** hot-path purity in ``SpurMachine.run``'s inner loop
 * **R002** parallel tag-array write discipline
 * **R003** ``Event`` exhaustiveness (mode maps + increment sites)
 * **R004** ``Event`` documentation coverage in ``docs/events.md``
 
-See ``docs/invariants.md`` for the full catalogue and rationale.
+Whole-program (symbol table + call graph + effect inference over the
+scanned tree):
+
+* **R005** determinism audit of everything reachable from the
+  simulator hot loops
+* **R006** cache-key soundness for ``MachineConfig``/``RunOptions``
+  field reads on the simulation path
+* **R007** worker safety for callables submitted to process pools
+* **R008** transitive hot-path purity (R001's call ban as a proof)
+
+See ``docs/analysis.md`` for the full catalogue, the effect lattice,
+and suppression syntax.
 """
 
-from repro.lint.engine import Module, run_lint
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.lint.callgraph import CallGraph, CallSite
+from repro.lint.catalog import RULES, explain
+from repro.lint.effects import NONDET, EffectTable, classify
+from repro.lint.engine import (
+    Module,
+    Project,
+    build_project,
+    run_lint,
+)
 from repro.lint.findings import Finding, LintConfig
+from repro.lint.flowrules import (
+    FLOW_RULES,
+    check_cache_key,
+    check_determinism,
+    check_transitive_purity,
+    check_worker_safety,
+)
 from repro.lint.rules import (
     ALL_RULES,
     check_event_docs,
@@ -22,15 +55,34 @@ from repro.lint.rules import (
     check_hot_loops,
     check_tag_array_writes,
 )
+from repro.lint.symbols import SymbolTable
 
 __all__ = [
     "ALL_RULES",
+    "CallGraph",
+    "CallSite",
+    "EffectTable",
+    "FLOW_RULES",
     "Finding",
     "LintConfig",
     "Module",
-    "run_lint",
+    "NONDET",
+    "Project",
+    "RULES",
+    "SymbolTable",
+    "apply_baseline",
+    "build_project",
+    "check_cache_key",
+    "check_determinism",
     "check_event_docs",
     "check_event_exhaustiveness",
     "check_hot_loops",
     "check_tag_array_writes",
+    "check_transitive_purity",
+    "check_worker_safety",
+    "classify",
+    "explain",
+    "load_baseline",
+    "render_baseline",
+    "run_lint",
 ]

@@ -1,0 +1,146 @@
+"""Suppression mechanics: inline comments and the baseline file.
+
+Two ways to accept a finding, both deliberate and reviewable:
+
+* an inline ``# lint: disable=R005`` (comma-separated rules) on the
+  flagged line — for one-off, locally-justified exceptions;
+* a committed baseline file — JSON with a justification string per
+  entry — for findings that are understood and accepted as a set:
+
+  .. code-block:: json
+
+      {"version": 1, "findings": [
+        {"rule": "R005", "path": "src/repro/x.py",
+         "message": "...", "justification": "why this is fine"}
+      ]}
+
+Baseline entries match on ``(rule, path, message)`` — line numbers
+drift with every edit and are deliberately excluded.  A stale entry
+(matching nothing) is reported so the baseline shrinks over time
+instead of fossilising.
+"""
+
+import json
+import re
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
+
+BASELINE_VERSION = 1
+
+
+def inline_disabled_rules(source_line):
+    """Rule names disabled by an inline comment on *source_line*."""
+    match = _DISABLE_RE.search(source_line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",")
+        if part.strip()
+    )
+
+
+def filter_inline_suppressions(findings, modules):
+    """Drop findings whose source line carries a disable comment."""
+    lines_by_path = {
+        module.path: module.source.splitlines()
+        for module in modules
+    }
+    kept = []
+    for finding in findings:
+        lines = lines_by_path.get(finding.path)
+        if lines and 1 <= finding.line <= len(lines):
+            disabled = inline_disabled_rules(lines[finding.line - 1])
+            if finding.rule in disabled:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def load_baseline(path):
+    """Parse a baseline file into a list of entry dicts.
+
+    Raises ``ValueError`` on a malformed file — a silently ignored
+    baseline would un-suppress everything or suppress nothing.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(
+            f"baseline {path}: expected an object with a "
+            f"'findings' list"
+        )
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version "
+            f"{data.get('version')!r} (expected {BASELINE_VERSION})"
+        )
+    entries = data["findings"]
+    for entry in entries:
+        for key in ("rule", "path", "message"):
+            if key not in entry:
+                raise ValueError(
+                    f"baseline {path}: entry missing {key!r}: "
+                    f"{entry!r}"
+                )
+    return entries
+
+
+def apply_baseline(findings, entries):
+    """Split findings against baseline entries.
+
+    Returns ``(new, accepted, stale_entries)``: findings not in the
+    baseline, findings the baseline accepts, and entries that matched
+    nothing (candidates for removal).
+    """
+    def key(rule, path, message):
+        return (rule, path.replace("\\", "/"), message)
+
+    wanted = {}
+    for entry in entries:
+        wanted.setdefault(
+            key(entry["rule"], entry["path"], entry["message"]), []
+        ).append(entry)
+    new = []
+    accepted = []
+    used = set()
+    for finding in findings:
+        k = key(finding.rule, finding.path, finding.message)
+        if k in wanted:
+            accepted.append(finding)
+            used.add(k)
+        else:
+            new.append(finding)
+    stale = [
+        entry for k, group in wanted.items() if k not in used
+        for entry in group
+    ]
+    return new, accepted, stale
+
+
+def render_baseline(findings, justification=""):
+    """A baseline JSON document accepting *findings* as-is."""
+    return json.dumps(
+        {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path.replace("\\", "/"),
+                    "message": finding.message,
+                    "justification": justification,
+                }
+                for finding in findings
+            ],
+        },
+        indent=2,
+    ) + "\n"
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "filter_inline_suppressions",
+    "inline_disabled_rules",
+    "load_baseline",
+    "render_baseline",
+]

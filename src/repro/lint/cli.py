@@ -1,17 +1,28 @@
-"""``python -m repro.lint``: run the repo-specific lint rules.
+"""``python -m repro.lint``: run the repo-specific analysis.
 
 ::
 
-    python -m repro.lint            # lint src/
-    python -m repro.lint src tests  # explicit targets
+    python -m repro.lint                      # lint src/
+    python -m repro.lint src tests            # explicit targets
+    python -m repro.lint --explain R006       # what a rule means
+    python -m repro.lint --format sarif src   # CI artifact output
+    python -m repro.lint --baseline lint-baseline.json src
 
-Exit status 0 when clean, 1 when any rule fires.  See
-``docs/invariants.md`` for what each rule enforces.
+Exit status 0 when clean (or every finding is baselined), 1 when any
+new finding fires, 2 on usage errors.  See ``docs/analysis.md`` for
+the full R001-R008 catalogue.
 """
 
 import argparse
+import json
 import sys
 
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.lint.catalog import RULES, explain
 from repro.lint.engine import run_lint
 
 
@@ -19,9 +30,10 @@ def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description=(
-            "Repo-specific static checks: hot-path purity (R001), "
-            "parallel tag-array write discipline (R002), Event "
-            "exhaustiveness (R003), Event documentation (R004)."
+            "Repo-specific static analysis: syntactic discipline "
+            "(R001-R004) plus whole-program flow rules (R005 "
+            "determinism, R006 cache-key soundness, R007 worker "
+            "safety, R008 transitive hot-path purity)."
         ),
     )
     parser.add_argument(
@@ -32,22 +44,160 @@ def build_parser():
         "--quiet", action="store_true",
         help="suppress the summary line; print findings only",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print the catalogue entry for RULE and exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="accept findings listed in this baseline file; only "
+             "new findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write the current findings as a baseline file and "
+             "exit 0 (fill in the justification fields before "
+             "committing)",
+    )
     return parser
+
+
+def _as_json(findings):
+    return json.dumps(
+        {
+            "count": len(findings),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        },
+        indent=2,
+    )
+
+
+def _as_sarif(findings):
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": title},
+            "fullDescription": {"text": body},
+        }
+        for rule, (title, body) in sorted(RULES.items())
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                        },
+                        "region": {"startLine": f.line},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return json.dumps(
+        {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro.lint",
+                            "informationUri":
+                                "docs/analysis.md",
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        },
+        indent=2,
+    )
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+
+    if args.explain:
+        text = explain(args.explain)
+        if text is None:
+            known = ", ".join(sorted(RULES))
+            print(
+                f"repro.lint: unknown rule {args.explain!r} "
+                f"(known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
+
     try:
         findings = run_lint(args.paths)
     except FileNotFoundError as error:
         print(f"repro.lint: {error}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.render())
-    if not args.quiet:
-        count = len(findings)
-        noun = "finding" if count == 1 else "findings"
-        print(f"repro.lint: {count} {noun} in {' '.join(args.paths)}")
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as out:
+            out.write(render_baseline(findings))
+        print(
+            f"repro.lint: wrote {len(findings)} baseline "
+            f"entr{'y' if len(findings) == 1 else 'ies'} to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    accepted = []
+    stale = []
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"repro.lint: {error}", file=sys.stderr)
+            return 2
+        findings, accepted, stale = apply_baseline(findings, entries)
+
+    if args.format == "json":
+        print(_as_json(findings))
+    elif args.format == "sarif":
+        print(_as_sarif(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if not args.quiet:
+            count = len(findings)
+            noun = "finding" if count == 1 else "findings"
+            summary = (
+                f"repro.lint: {count} {noun} in "
+                f"{' '.join(args.paths)}"
+            )
+            if accepted:
+                summary += f" ({len(accepted)} baselined)"
+            print(summary)
+            for entry in stale:
+                print(
+                    f"repro.lint: stale baseline entry "
+                    f"{entry['rule']} {entry['path']} — remove it"
+                )
     return 1 if findings else 0
 
 

@@ -1,11 +1,17 @@
-"""Collect sources, parse once, run every rule."""
+"""Collect sources, parse once, build the analysis, run every rule."""
 
 import ast
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List
 
+from repro.lint.baseline import filter_inline_suppressions
+from repro.lint.callgraph import CallGraph
+from repro.lint.effects import EffectTable
 from repro.lint.findings import Finding, LintConfig
+from repro.lint.flowrules import FLOW_RULES
 from repro.lint.rules import ALL_RULES
+from repro.lint.symbols import SymbolTable
 
 
 @dataclass(frozen=True)
@@ -15,6 +21,22 @@ class Module:
     path: str
     tree: ast.Module
     source: str
+
+
+@dataclass
+class Project:
+    """The whole-program analysis context every rule receives.
+
+    The syntactic rules (R001-R004) read only ``modules``; the flow
+    rules (R005-R008) consume the symbol table, call graph, and
+    effect table built over the same parsed set.
+    """
+
+    modules: List[Module]
+    config: LintConfig
+    symbols: SymbolTable = field(repr=False)
+    callgraph: CallGraph = field(repr=False)
+    effects: EffectTable = field(repr=False)
 
 
 _SKIP_DIRS = {"__pycache__", ".git", ".egg-info"}
@@ -68,15 +90,45 @@ def parse_modules(files):
     return modules, findings
 
 
+def build_project(modules, config=None):
+    """Build the symbol table, call graph, and effect table once."""
+    if config is None:
+        config = LintConfig()
+    symbols = SymbolTable(modules)
+    callgraph = CallGraph(symbols, config)
+    effects = EffectTable(symbols, callgraph, config)
+    return Project(
+        modules=modules,
+        config=config,
+        symbols=symbols,
+        callgraph=callgraph,
+        effects=effects,
+    )
+
+
 def run_lint(paths, config=None):
-    """Lint *paths* and return findings sorted by location."""
+    """Lint *paths* and return findings sorted by location.
+
+    Inline ``# lint: disable=RXXX`` suppressions are applied here;
+    baseline filtering is the CLI's concern (the baseline is a
+    workflow artifact, not part of the analysis).
+    """
     if config is None:
         config = LintConfig()
     modules, findings = parse_modules(collect_files(paths))
-    for rule in ALL_RULES:
-        findings.extend(rule(modules, config))
+    project = build_project(modules, config)
+    for rule in ALL_RULES + FLOW_RULES:
+        findings.extend(rule(project, config))
+    findings = filter_inline_suppressions(findings, modules)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
 
-__all__ = ["Module", "collect_files", "parse_modules", "run_lint"]
+__all__ = [
+    "Module",
+    "Project",
+    "build_project",
+    "collect_files",
+    "parse_modules",
+    "run_lint",
+]

@@ -82,6 +82,92 @@ class LintConfig:
     #: Path of the event documentation page (R004).
     events_doc: str = "docs/events.md"
 
+    # -- whole-program flow analysis (R005-R008) ----------------------
+
+    #: Root qualnames of the simulation surface: the functions whose
+    #: transitive callees the determinism audit (R005) and hot-path
+    #: purity proof (R008) cover.  R001 cedes its attribute-call check
+    #: to R008 for these functions (allocation discipline stays).
+    effect_hot_loops: tuple = (
+        "SpurMachine.run",
+        "SpurMachine.run_chunks",
+    )
+
+    #: Root qualnames whose reachable code the cache-key soundness
+    #: rule (R006) audits: everything that can influence a cached
+    #: result, including machine construction from the runner.
+    cache_roots: tuple = (
+        "simulate_cell",
+        "ExperimentRunner.run",
+        "SpurMachine.run",
+        "SpurMachine.run_chunks",
+    )
+
+    #: Top-level package names whose imports resolve to *project*
+    #: functions rather than external callables.
+    project_packages: frozenset = frozenset({"repro"})
+
+    #: Method names excluded from the dynamic-dispatch fallback:
+    #: generic container/string verbs that would otherwise join every
+    #: same-named project method into one candidate pool (a stdlib
+    #: ``.append`` is not ``SegmentedFifoDaemon.note_resident``'s
+    #: problem).  Calls on these names resolve as *unresolved*.
+    dynamic_skip_names: frozenset = frozenset({
+        "__init__",
+        "add", "append", "appendleft", "cancel", "clear", "close",
+        "copy", "count", "decode", "discard", "done", "dump", "dumps",
+        "encode", "endswith", "extend", "extendleft", "flush",
+        "format", "get", "group", "hexdigest", "index", "insert",
+        "items", "join", "keys", "load", "loads", "lower", "match",
+        "mkdir", "open", "pop", "popleft", "put", "read", "remove",
+        "replace", "result", "rstrip", "search", "setdefault",
+        "shutdown", "sort", "split", "startswith", "strip", "sub",
+        "submit", "tobytes", "update", "upper", "values", "write",
+    })
+
+    #: Name of the module-level function that derives the result
+    #: cache key (R006 parses which of its parameters it actually
+    #: reads, and which attributes call sites forward into it).
+    cache_key_function: str = "cache_key"
+
+    #: The frozen machine-configuration dataclass: every field read of
+    #: it on the simulation path must be cache-key-covered (R006).
+    config_class: str = "MachineConfig"
+
+    #: Option/cell dataclasses whose field reads R006 audits the same
+    #: way.
+    option_classes: tuple = ("RunOptions", "RunCell")
+
+    #: Receiver spellings that identify an audited class when static
+    #: typing cannot (``options.workers`` reads RunOptions even though
+    #: ``options`` is an untyped parameter).
+    option_aliases: tuple = (
+        ("config", "MachineConfig"),
+        ("options", "RunOptions"),
+        ("opts", "RunOptions"),
+        ("cell", "RunCell"),
+    )
+
+    #: Fields declared inert for caching: they steer *how* a run
+    #: executes (parallelism, chunking, observation) but can never
+    #: change its counters, so they are legitimately absent from the
+    #: cache key.
+    cache_inert_fields: frozenset = frozenset({
+        "workers", "chunk_refs", "cache_dir", "use_cache", "sanitize",
+        "observe", "epoch_refs", "trace_sink", "progress", "label",
+    })
+
+    #: Method names that hand a callable to a worker pool (R007).
+    submit_methods: frozenset = frozenset({"submit"})
+
+    #: Effect flags a hot-loop callee may not have, even transitively
+    #: (R008).  ``counters`` and ``tag-write`` are the sanctioned
+    #: bookkeeping effects and stay out of this set.
+    effect_forbidden_flags: frozenset = frozenset({
+        "io", "clock", "env", "random", "unordered-iter",
+        "global-mutation",
+    })
+
     def replace(self, **overrides):
         """A copy with the given fields overridden."""
         values = {

@@ -1,0 +1,47 @@
+"""Pytest fixtures for the repo lint analysis.
+
+Imported from ``tests/conftest.py`` the same way the sanitizer plugin
+is::
+
+    from repro.lint.pytest_plugin import repro_lint, assert_lint_clean
+
+``repro_lint`` runs the analysis with per-test config overrides;
+``assert_lint_clean`` fails the test with rendered findings when the
+target is not clean — the shape the live-tree gate and fixture tests
+both want.
+"""
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+
+@pytest.fixture
+def repro_lint():
+    """Run the lint analysis: ``repro_lint(paths, **overrides)``.
+
+    Keyword overrides are applied to a fresh :class:`LintConfig` (or
+    to an explicit ``config=`` if given), so a test can aim the rules
+    at a crafted fixture package in two lines.
+    """
+    def run(paths, config=None, **overrides):
+        cfg = config if config is not None else LintConfig()
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        return run_lint(paths, cfg)
+
+    return run
+
+
+@pytest.fixture
+def assert_lint_clean(repro_lint):
+    """Assert a target has zero findings, rendering any it has."""
+    def check(paths, config=None, **overrides):
+        findings = repro_lint(paths, config=config, **overrides)
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"lint findings:\n{rendered}"
+
+    return check
+
+
+__all__ = ["assert_lint_clean", "repro_lint"]

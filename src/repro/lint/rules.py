@@ -1,9 +1,10 @@
-"""The four repo lint rules.
+"""The four syntactic repo lint rules (R001-R004).
 
-Each rule is a function ``(modules, config) -> list[Finding]`` where
-``modules`` is the engine's parsed file set (see
-:class:`~repro.lint.engine.Module`).  The rules encode repo-specific
-discipline that generic linters cannot see:
+Each rule is a function ``(project, config) -> list[Finding]`` where
+``project`` is the engine's analysis context (parsed modules plus the
+whole-program tables — these four only use ``project.modules``; the
+flow rules in :mod:`repro.lint.flowrules` use the rest).  The rules
+encode repo-specific discipline that generic linters cannot see:
 
 R001
     Hot-path purity.  The inner loops of the functions named in
@@ -19,6 +20,11 @@ R001
     methods (C-speed whole-chunk operations like ``.count``); and the
     per-reference (inner) levels obey the strict rules above plus a
     ban on tuple allocation — nothing may be boxed per reference.
+
+    Functions also named in ``config.effect_hot_loops`` cede the
+    attribute-call check to R008, which proves each call's transitive
+    purity through the call graph instead of banning it by spelling;
+    the allocation discipline here still applies.
 
 R002
     Parallel-array write discipline.  The cache's tag arrays are
@@ -70,13 +76,15 @@ def _loop_bodies(func):
             yield node
 
 
-def check_hot_loops(modules, config):
+def check_hot_loops(project, config):
     findings = []
     wanted = set(config.hot_loops)
     chunked = set(config.chunked_hot_loops)
+    effect_checked = set(config.effect_hot_loops)
     allow = config.hot_loop_attr_allowlist
-    for module in modules:
+    for module in project.modules:
         for qualname, func in _qualified_functions(module.tree):
+            attr_calls = qualname not in effect_checked
             if qualname in wanted:
                 for loop in _loop_bodies(func):
                     # The iterable of a ``for`` is evaluated once;
@@ -88,13 +96,15 @@ def check_hot_loops(modules, config):
                     for stmt in hot_nodes:
                         for node in ast.walk(stmt):
                             finding = _classify_hot_node(
-                                node, qualname, module.path, allow
+                                node, qualname, module.path, allow,
+                                attr_calls=attr_calls,
                             )
                             if finding is not None:
                                 findings.append(finding)
             if qualname in chunked:
                 findings.extend(_check_chunked_function(
-                    func, qualname, module.path, config
+                    func, qualname, module.path, config,
+                    attr_calls=attr_calls,
                 ))
     return findings
 
@@ -140,7 +150,8 @@ def _own_level_nodes(loop):
     return nodes
 
 
-def _check_chunked_function(func, qualname, path, config):
+def _check_chunked_function(func, qualname, path, config,
+                            attr_calls=True):
     """R001 for a two-level chunked hot loop.
 
     Depth 0 (the per-chunk level) may call the chunk allowlist's
@@ -162,7 +173,8 @@ def _check_chunked_function(func, qualname, path, config):
         allow = (config.chunk_loop_attr_allowlist if depth == 0
                  else config.hot_loop_attr_allowlist)
         for node in _own_level_nodes(loop):
-            finding = _classify_hot_node(node, qualname, path, allow)
+            finding = _classify_hot_node(node, qualname, path, allow,
+                                         attr_calls=attr_calls)
             if finding is not None:
                 findings.append(finding)
             elif (depth >= 1 and isinstance(node, ast.Tuple)
@@ -181,8 +193,10 @@ def _check_chunked_function(func, qualname, path, config):
     return findings
 
 
-def _classify_hot_node(node, qualname, path, allow):
+def _classify_hot_node(node, qualname, path, allow, attr_calls=True):
     if isinstance(node, ast.Call):
+        if not attr_calls:
+            return None
         func = node.func
         if isinstance(func, ast.Attribute) and func.attr not in allow:
             return Finding(
@@ -224,9 +238,9 @@ def _assignment_targets(node):
     return []
 
 
-def check_tag_array_writes(modules, config):
+def check_tag_array_writes(project, config):
     findings = []
-    for module in modules:
+    for module in project.modules:
         basename = os.path.basename(module.path)
         sanctioned = _sanctioned_fields(
             basename, config.tag_array_writers
@@ -327,7 +341,8 @@ def _incremented_members(modules, config):
     return names
 
 
-def check_event_exhaustiveness(modules, config):
+def check_event_exhaustiveness(project, config):
+    modules = project.modules
     events_module = _find_events_module(modules, config)
     if events_module is None:
         return []
@@ -380,8 +395,8 @@ def _resolve_events_doc(events_module, config):
         directory = parent
 
 
-def check_event_docs(modules, config):
-    events_module = _find_events_module(modules, config)
+def check_event_docs(project, config):
+    events_module = _find_events_module(project.modules, config)
     if events_module is None:
         return []
     members = _event_members(events_module, config)

@@ -14,6 +14,7 @@ Two stock geometries:
 """
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.params import (
@@ -53,8 +54,10 @@ class MachineConfig:
     flush_strategy: str = "tag-checked"   # or "tagless"
     dirty_policy: str = "SPUR"
     reference_policy: str = "MISS"
-    low_water: int = None
-    high_water: int = None
+    #: Page-daemon water marks in frames; ``None`` selects the
+    #: geometry-derived defaults at machine build time.
+    low_water: Optional[int] = None
+    high_water: Optional[int] = None
     #: Multiplier on per-line flush and per-word zero-fill costs.  A
     #: geometry-scaled machine has the same *number* of pages as the
     #: prototype but 1/scale as many blocks (and words) per page, so

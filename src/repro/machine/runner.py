@@ -269,8 +269,14 @@ class ExperimentRunner:
         specs = list(specs)
         options = self._call_options(options, workers)
         cache = self.cache
-        if options is not self.options and options.cache_dir:
-            cache = options.build_cache()
+        if options is not self.options:
+            # Per-call options own the cache decision outright: a
+            # use_cache=False call must bypass the runner's cache too,
+            # not just decline to build its own.
+            if not options.use_cache:
+                cache = None
+            elif options.cache_dir:
+                cache = options.build_cache()
         if labels is None:
             labels = [None] * len(specs)
         plain_serial = (

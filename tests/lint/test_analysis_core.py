@@ -1,0 +1,318 @@
+"""Unit tests for the whole-program analysis core: symbol table,
+call-graph resolution, and effect-inference fixpoint (recursion,
+cycles, dynamic-dispatch fallback).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintConfig
+from repro.lint.effects import (
+    CLOCK,
+    COUNTERS,
+    GLOBAL_MUTATION,
+    IO,
+    UNKNOWN_CALL,
+    UNORDERED_ITER,
+    classify,
+)
+from repro.lint.engine import build_project, collect_files, parse_modules
+
+
+def project_for(tmp_path, config=None, **files):
+    for name, source in files.items():
+        (tmp_path / f"{name}.py").write_text(textwrap.dedent(source))
+    modules, errors = parse_modules(collect_files([str(tmp_path)]))
+    assert errors == []
+    return build_project(modules, config or LintConfig())
+
+
+class TestSymbolTable:
+    def test_indexes_functions_classes_and_fields(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Config:
+                levels: int = 2
+                width: int = 8
+
+            class Machine:
+                def __init__(self, config):
+                    self.config = config
+
+                @property
+                def depth(self):
+                    return self.config.levels
+
+            def top():
+                return 1
+            """)
+        symbols = project.symbols
+        assert "Machine.depth" in symbols.functions
+        assert symbols.functions["Machine.depth"][0].is_property
+        assert symbols.dataclass_fields("Config") == ("levels",
+                                                      "width")
+        info = symbols.class_infos("Config")[0]
+        assert info.is_dataclass
+        assert symbols.module_functions[
+            (str(tmp_path / "mod.py"), "top")
+        ].qualname == "top"
+
+    def test_attr_types_from_constructor_assignments(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class Daemon:
+                def poll(self):
+                    return 0
+
+            class Vm:
+                def __init__(self, fancy):
+                    daemon = Daemon()
+                    self.daemon = daemon
+                    self.other = Daemon() if fancy else Daemon()
+            """)
+        info = project.symbols.class_infos("Vm")[0]
+        assert info.attr_types["daemon"] == ("Daemon",)
+        assert info.attr_types["other"] == ("Daemon",)
+        assert project.symbols.receiver_classes(
+            ("self", "daemon"), "Vm"
+        ) == ("Daemon",)
+
+    def test_receiver_chain_through_two_hops(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class Daemon:
+                def poll(self):
+                    return 0
+
+            class Vm:
+                def __init__(self):
+                    self.daemon = Daemon()
+
+            class Machine:
+                def __init__(self):
+                    self.vm = Vm()
+
+                def tick(self):
+                    return self.vm.daemon.poll()
+            """)
+        sites = project.callgraph.sites_for("Machine.tick")
+        polls = [s for s in sites if s.display.endswith("poll()")]
+        assert polls and polls[0].kind == "function"
+        assert polls[0].candidates == ("Daemon.poll",)
+
+
+class TestCallGraph:
+    def test_prebound_local_binding_resolves(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class Machine:
+                def _miss(self, ref):
+                    return ref
+
+                def run(self, refs):
+                    miss = self._miss
+                    total = 0
+                    for ref in refs:
+                        total += miss(ref)
+                    return total
+            """)
+        sites = project.callgraph.sites_for("Machine.run")
+        miss = [s for s in sites if s.display == "miss()"]
+        assert miss and miss[0].kind == "function"
+        assert miss[0].candidates == ("Machine._miss",)
+
+    def test_conditional_binding_resolves_every_arm(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class A:
+                def poll(self):
+                    return 1
+
+            class Machine:
+                def run(self, mask):
+                    poll = self.helper.poll if mask >= 0 else None
+                    if poll is not None:
+                        return poll()
+                    return 0
+            """)
+        sites = project.callgraph.sites_for("Machine.run")
+        poll = [s for s in sites if s.display == "poll()"]
+        assert poll and poll[0].candidates == ("A.poll",)
+
+    def test_dynamic_dispatch_fallback_joins_same_name(self,
+                                                       tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class Clock:
+                def advance(self):
+                    return 1
+
+            class Fifo:
+                def advance(self):
+                    return 2
+
+            def tick(daemon):
+                return daemon.advance()
+            """)
+        sites = project.callgraph.sites_for("tick")
+        assert sites[0].kind == "dynamic"
+        assert set(sites[0].candidates) == {"Clock.advance",
+                                            "Fifo.advance"}
+
+    def test_skip_names_resolve_as_unresolved(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class Daemon:
+                def append(self, x):
+                    return x
+
+            def push(queue, x):
+                queue.append(x)
+            """)
+        sites = project.callgraph.sites_for("push")
+        assert sites[0].kind == "unresolved"
+
+    def test_super_call_resolves_through_bases(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class Base:
+                def __init__(self):
+                    self.count = 0
+
+            class Child(Base):
+                def __init__(self):
+                    super().__init__()
+            """)
+        sites = project.callgraph.sites_for("Child.__init__")
+        init = [s for s in sites
+                if s.display == "super().__init__()"]
+        assert init and init[0].candidates == ("Base.__init__",)
+
+    def test_reachability_and_path(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            def leaf():
+                return 1
+
+            def middle():
+                return leaf()
+
+            def root():
+                return middle()
+
+            def elsewhere():
+                return 0
+            """)
+        parents = project.callgraph.reachable(["root"])
+        assert set(parents) == {"root", "middle", "leaf"}
+        assert project.callgraph.path_to_root(parents, "leaf") == [
+            "root", "middle", "leaf",
+        ]
+
+
+class TestEffectInference:
+    def test_external_flags_propagate_transitively(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            import time
+
+            def now():
+                return time.perf_counter()
+
+            def wrapper():
+                return now()
+
+            def top():
+                return wrapper()
+            """)
+        assert CLOCK in project.effects.effects_of("top")
+        assert CLOCK in project.effects.intrinsic_of("now")
+        assert CLOCK not in project.effects.intrinsic_of("top")
+
+    def test_recursion_converges(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            def countdown(n):
+                print(n)
+                if n:
+                    return countdown(n - 1)
+                return 0
+            """)
+        assert IO in project.effects.effects_of("countdown")
+
+    def test_mutual_cycle_converges_and_unions(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            import time
+
+            def ping(n):
+                if n:
+                    return pong(n - 1)
+                return time.perf_counter()
+
+            def pong(n):
+                print(n)
+                return ping(n)
+            """)
+        for name in ("ping", "pong"):
+            flags = project.effects.effects_of(name)
+            assert CLOCK in flags and IO in flags
+
+    def test_set_iteration_vs_membership(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            class Pool:
+                def __init__(self):
+                    self._members = set()
+
+                def tally(self):
+                    total = 0
+                    for vpn in self._members:
+                        total += vpn
+                    return total
+
+                def tally_sorted(self):
+                    total = 0
+                    for vpn in sorted(self._members):
+                        total += vpn
+                    return total
+
+                def holds(self, vpn):
+                    return vpn in self._members
+            """)
+        effects = project.effects
+        assert UNORDERED_ITER in effects.intrinsic_of("Pool.tally")
+        assert UNORDERED_ITER not in effects.intrinsic_of(
+            "Pool.tally_sorted"
+        )
+        assert UNORDERED_ITER not in effects.intrinsic_of(
+            "Pool.holds"
+        )
+
+    def test_global_mutation_and_counters(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            TOTALS = {}
+            SEEN = []
+
+            def record(key):
+                TOTALS[key] = 1
+
+            def push(key):
+                SEEN.append(key)
+
+            def count(machine):
+                machine.hits += 1
+            """)
+        effects = project.effects
+        assert GLOBAL_MUTATION in effects.intrinsic_of("record")
+        assert GLOBAL_MUTATION in effects.intrinsic_of("push")
+        assert COUNTERS in effects.intrinsic_of("count")
+        assert GLOBAL_MUTATION not in effects.intrinsic_of("count")
+
+    def test_unresolved_call_marks_unknown(self, tmp_path):
+        project = project_for(tmp_path, mod="""\
+            def shrug(thing):
+                return thing.mystery()
+            """)
+        assert UNKNOWN_CALL in project.effects.effects_of("shrug")
+
+    @pytest.mark.parametrize("flags,expected", [
+        (frozenset(), "pure"),
+        (frozenset({COUNTERS}), "counters-only"),
+        (frozenset({"tag-write", COUNTERS}), "tag-array-writer"),
+        (frozenset({IO, COUNTERS}), "io"),
+        (frozenset({CLOCK, IO}), "nondeterministic"),
+    ])
+    def test_classify_lattice_order(self, flags, expected):
+        assert classify(flags) == expected

@@ -102,6 +102,24 @@ class TestRunnerAcceptsOptions:
         assert run_with(runner).observation is None
         assert observed == run_with(runner)
 
+    def test_per_call_use_cache_false_bypasses_runner_cache(
+            self, tmp_path):
+        # Regression: per-call use_cache=False used to bypass only
+        # the options' own cache_dir, leaving the runner-level cache
+        # active for the call.
+        cache = ResultCache(str(tmp_path))
+        runner = ExperimentRunner(cache=cache)
+        specs = [(CONFIG, SlcWorkload(length_scale=0.01), 1,
+                  MAX_REFS)]
+        fresh = runner.run_many(
+            specs, options=RunOptions(use_cache=False)
+        )
+        assert cache.hits == 0 and cache.misses == 0
+        # Without the override the same call consults the cache.
+        cached = runner.run_many(specs)
+        assert cache.misses == 1
+        assert cached == fresh
+
     def test_legacy_workers_keyword_still_wins(self):
         runner = ExperimentRunner()
         resolved = runner._call_options(RunOptions(workers=4),

@@ -26,6 +26,7 @@ PACKAGES = (
     "repro.workloads",
     "repro.analysis",
     "repro.parallel",
+    "repro.lint",
 )
 
 MODULES = (
@@ -62,6 +63,12 @@ MODULES = (
     "repro.analysis.experiments",
     "repro.analysis.tracestats",
     "repro.analysis.sweeps",
+    "repro.lint.symbols",
+    "repro.lint.callgraph",
+    "repro.lint.effects",
+    "repro.lint.engine",
+    "repro.lint.baseline",
+    "repro.lint.catalog",
 )
 
 

@@ -1,0 +1,107 @@
+"""Per-trace regression gates in benchmarks/run_benchmarks.py.
+
+The checker itself is plain arithmetic over two JSON payloads, so it
+is tested directly with synthetic results — no timing involved.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "run_benchmarks", ROOT / "benchmarks" / "run_benchmarks.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_benchmarks", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench = load_bench_module()
+
+
+def results_with(speedups):
+    return {
+        "traces": {
+            shape: {"speedup": value}
+            for shape, value in speedups.items()
+        }
+    }
+
+
+def write_baseline(tmp_path, speedups, gates=None):
+    payload = results_with(speedups)
+    if gates is not None:
+        payload["gates"] = gates
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestPerTraceGates:
+    def test_each_shape_is_gated_individually(self, tmp_path,
+                                              capsys):
+        baseline = write_baseline(
+            tmp_path,
+            {"hits": 2.2, "misses": 1.03, "writes": 1.04},
+            gates=bench.DEFAULT_GATES,
+        )
+        # A misses-only regression: the old fractional check
+        # (1.03 * 0.7 = 0.72 floor) would have let this through.
+        fresh = results_with(
+            {"hits": 2.1, "misses": 0.85, "writes": 1.02}
+        )
+        assert bench.check_regression(fresh, baseline, 0.3) == 1
+        err = capsys.readouterr().err
+        assert "misses" in err and "gates.misses.min_speedup" in err
+        assert "writes" not in err and "hits" not in err
+
+    def test_passes_at_or_above_every_gate(self, tmp_path):
+        baseline = write_baseline(
+            tmp_path,
+            {"hits": 2.2, "misses": 1.03, "writes": 1.04},
+            gates=bench.DEFAULT_GATES,
+        )
+        fresh = results_with(
+            {"hits": 1.7, "misses": 0.95, "writes": 0.96}
+        )
+        assert bench.check_regression(fresh, baseline, 0.3) == 0
+
+    def test_ungated_shape_falls_back_to_fraction(self, tmp_path,
+                                                  capsys):
+        baseline = write_baseline(
+            tmp_path, {"hits": 2.0},
+            gates={"misses": {"min_speedup": 0.95}},
+        )
+        fresh = results_with({"hits": 1.3})
+        assert bench.check_regression(fresh, baseline, 0.3) == 1
+        assert "baseline 2.000" in capsys.readouterr().err
+        assert bench.check_regression(
+            results_with({"hits": 1.5}), baseline, 0.3
+        ) == 0
+
+    def test_committed_baseline_records_the_gates(self):
+        payload = json.loads(
+            (ROOT / "BENCH_throughput.json").read_text()
+        )
+        assert payload["gates"] == bench.DEFAULT_GATES
+        for shape, gate in payload["gates"].items():
+            assert (payload["traces"][shape]["speedup"]
+                    >= gate["min_speedup"])
+
+
+class TestLoadGates:
+    def test_missing_file_yields_defaults(self, tmp_path):
+        gates = bench.load_gates(str(tmp_path / "nope.json"))
+        assert gates == bench.DEFAULT_GATES
+
+    def test_recorded_gates_survive_a_remeasure(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        tuned = {"hits": {"min_speedup": 1.9}}
+        path.write_text(json.dumps({"gates": tuned}))
+        assert bench.load_gates(str(path)) == tuned

@@ -178,3 +178,23 @@ class TestParallelCommands:
             p.name: p.read_text()
             for p in sorted(cache_dir.glob("??/*.json"))
         } == first
+
+
+class TestLintSubcommand:
+    def test_forwards_paths(self, tmp_path, capsys):
+        rogue = tmp_path / "rogue.py"
+        rogue.write_text(
+            "def poke(cache, index):\n"
+            "    cache.valid[index] = False\n"
+        )
+        assert main(["lint", str(rogue)]) == 1
+        assert "R002" in capsys.readouterr().out
+
+    def test_forwards_option_like_tokens(self, capsys):
+        # REMAINDER-style forwarding must survive a leading flag.
+        assert main(["lint", "--explain", "R006"]) == 0
+        assert "Cache-key soundness" in capsys.readouterr().out
+
+    def test_listed_in_top_level_help(self):
+        parser = build_parser()
+        assert "lint" in parser.format_help()
