@@ -42,6 +42,7 @@ fall back to ``baseline speedup * (1 - --max-regression)``.
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 import time
 
@@ -56,23 +57,38 @@ from repro.workloads.base import chunk_accesses  # noqa: E402
 
 #: Per-shape speedup floors written into fresh baselines.  The hits
 #: gate protects the batching win (measured 2.24x); the misses and
-#: writes gates only assert the chunked loop never falls behind the
-#: legacy loop beyond run-to-run noise (measured 1.03-1.04x).
+#: writes gates protect the batched miss/write resolver (measured
+#: >=3x with the columnar classifier; the floors hold on the pure
+#: Python fallback too).
 DEFAULT_GATES = {
     "hits": {"min_speedup": 1.6},
-    "misses": {"min_speedup": 0.95},
-    "writes": {"min_speedup": 0.95},
+    "misses": {"min_speedup": 2.5},
+    "writes": {"min_speedup": 2.5},
 }
 
 
-def best_refs_per_second(fn, payload, refs, repeat):
-    """Best-of-``repeat`` throughput of ``fn(payload)``."""
-    best = float("inf")
+def throughput_samples(fn, payload, refs, repeat):
+    """``repeat`` refs-per-second samples of ``fn(payload)``."""
+    samples = []
     for _ in range(repeat):
         started = time.perf_counter()
         fn(payload)
-        best = min(best, time.perf_counter() - started)
-    return refs / best
+        samples.append(refs / (time.perf_counter() - started))
+    return samples
+
+
+def observe_overhead(chunked_samples, observed_samples):
+    """Fractional cost of enabled observation, noise-robust.
+
+    Medians over the repeats of both variants, clamped at zero: a
+    single lucky observed run used to record *negative* overhead,
+    leaving room for a real observability regression to hide inside
+    the noise band.  The median discards the outlier runs and the
+    clamp keeps the committed baseline meaningful as a floor.
+    """
+    chunked = statistics.median(chunked_samples)
+    observed = statistics.median(observed_samples)
+    return round(max(0.0, 1.0 - observed / chunked), 3)
 
 
 def observed_run_chunks(machine, chunks, epoch_refs):
@@ -101,24 +117,28 @@ def run_benchmarks(count, repeat, chunk_refs, epoch_refs):
         trace = builder(heap.start, count)
         chunks = list(chunk_accesses(iter(trace), chunk_refs))
         machine.run(trace)  # warm the machine once
-        legacy = best_refs_per_second(
+        legacy_samples = throughput_samples(
             machine.run, trace, len(trace), repeat
         )
-        chunked = best_refs_per_second(
+        chunked_samples = throughput_samples(
             machine.run_chunks, chunks, len(trace), repeat
         )
-        observed = best_refs_per_second(
+        observed_samples = throughput_samples(
             lambda payload: observed_run_chunks(
                 machine, payload, epoch_refs
             ),
             chunks, len(trace), repeat,
         )
+        legacy = max(legacy_samples)
+        chunked = max(chunked_samples)
         traces[shape] = {
             "legacy_refs_per_s": round(legacy),
             "chunked_refs_per_s": round(chunked),
-            "observed_refs_per_s": round(observed),
+            "observed_refs_per_s": round(max(observed_samples)),
             "speedup": round(chunked / legacy, 3),
-            "observe_overhead": round(1.0 - observed / chunked, 3),
+            "observe_overhead": observe_overhead(
+                chunked_samples, observed_samples
+            ),
         }
     return {
         "bench": "hot-loop throughput",

@@ -43,6 +43,9 @@ class SnoopyBus:
             raise ValueError(f"{cache.name} already attached")
         self.caches.append(cache)
         cache.bus = self
+        if len(self.caches) > 1:
+            for peer in self.caches:
+                peer.has_peers = True
 
     def broadcast(self, origin, bus_op, vaddr):
         """Deliver one transaction to every cache except its origin."""

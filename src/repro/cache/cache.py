@@ -1,12 +1,19 @@
 """The direct-mapped virtual-address cache.
 
-Per-line tag state is kept in parallel Python lists rather than line
-objects because the simulator touches these fields on every simulated
-reference; the lists are deliberately public so the machine's hot loop
-can read them without a method call.  All *mutations* other than the
-single-field updates the hot loop performs (block-dirty, page-dirty,
-protection refreshes) go through methods on this class, which keep the
-arrays mutually consistent.
+Per-line tag state lives in flat parallel columns
+(:class:`repro.cache.columns.ColumnStore`: ``array('q')`` for tags and
+block numbers, ``bytearray`` for flags) rather than line objects,
+because the simulator touches these fields on every simulated
+reference; the columns are aliased as public attributes so the
+machine's hot loop can read them — and the batched resolver can
+classify whole chunks against them — without a method call.  All
+*mutations* other than the ones the machine's hot paths perform (the
+batched resolver's inlined block installs, which replay ``fill_fast``'s
+exact column sequence, and the single-field block-dirty, page-dirty,
+and protection refreshes) go through methods on this class, which keep
+the columns mutually consistent.  The columns
+are allocated once and only mutated in place, never rebound: the
+sanitizer and the optional numpy views both alias the buffers.
 
 Addresses are *global virtual* addresses throughout: SPUR's OS-level
 synonym prevention guarantees one global address per datum, so the
@@ -15,8 +22,24 @@ cache never needs physical tags.
 
 from repro.cache.block import CacheLineView
 from repro.cache.coherence import BerkeleyOwnership, BusOp, CoherencyState
+from repro.cache.columns import ColumnStore
 from repro.common.types import Protection
 from repro.counters.events import Event
+
+# Slots in the chunked hot loop's deferred-bookkeeping tally (an
+# ``array('q')`` indexed by these constants).  ``fill_fast`` records
+# its stats/counter/bus increments here instead of touching the live
+# dicts per event; ``SpurMachine._flush_tally`` applies them once per
+# ``run_chunks`` call.  The simulator extends this block with its own
+# event slots, so its numbering starts at ``TALLY_CACHE_SLOTS``.
+TALLY_FILLS = 0
+TALLY_EVICTIONS = 1
+TALLY_WRITE_BACKS = 2
+TALLY_BUS = 3
+TALLY_CACHE_SLOTS = 4
+
+_UNOWNED = CoherencyState.UNOWNED
+_OWNED_EXCLUSIVE = CoherencyState.OWNED_EXCLUSIVE
 
 
 class VirtualCache:
@@ -38,6 +61,10 @@ class VirtualCache:
         self.timing = timing
         self.name = name
         self.bus = None  # set when attached to a SnoopyBus
+        #: True once another cache shares the bus (maintained by
+        #: SnoopyBus.attach); the hot paths key the live-broadcast /
+        #: deferred-tally split on this instead of re-counting peers.
+        self.has_peers = False
         self.counters = None  # set by the owning SpurMachine
 
         num_lines = geometry.num_lines
@@ -49,21 +76,30 @@ class VirtualCache:
             geometry.words_per_block
         )
 
-        # Parallel per-line tag arrays (hot path reads these directly).
-        self.valid = [False] * num_lines
-        self.tags = [0] * num_lines
-        self.line_vaddr = [0] * num_lines  # block-aligned fill address
-        self.prot = [int(Protection.NONE)] * num_lines
-        self.page_dirty = [False] * num_lines
-        self.block_dirty = [False] * num_lines
-        self.state = [CoherencyState.INVALID] * num_lines
-        self.filled_by_read = [False] * num_lines
-        self.holds_pte = [False] * num_lines
+        # Flat per-line tag columns (hot path reads these directly).
+        # The aliases below share the store's buffers; every element
+        # write through either name lands in the same memory the
+        # batched resolver's numpy views observe.
+        self.columns = ColumnStore(num_lines)
+        self.valid = self.columns.valid
+        self.tags = self.columns.tags
+        self.line_vaddr = self.columns.line_vaddr  # block-aligned fill address
+        self.prot = self.columns.prot
+        self.page_dirty = self.columns.page_dirty
+        self.block_dirty = self.columns.block_dirty
+        self.filled_by_read = self.columns.filled_by_read
+        self.holds_pte = self.columns.holds_pte
         # Resident block number per line (``line_vaddr >> block_bits``)
         # or -1 when invalid.  Folding valid+tag into one slot lets the
         # chunked hot loop decide a hit with a single compare: block
         # numbers are non-negative, so -1 can never match a probe.
-        self.line_block = [-1] * num_lines
+        self.line_block = self.columns.line_block
+        # Berkeley Ownership state stays a list of enum members —
+        # inspection, policies, and tests rely on identity/properties
+        # — so it is not part of the flat column store.
+        self.state = [CoherencyState.INVALID] * num_lines
+        # Precomputed ``vaddr -> block-aligned address`` mask.
+        self.block_offset_mask = ~((1 << self.block_bits) - 1)
 
         self.stats = {
             "fills": 0,
@@ -153,6 +189,62 @@ class VirtualCache:
         self.stats["fills"] += 1
         return index, cycles
 
+    def fill_fast(self, vaddr, protection, page_dirty, by_write,
+                  holds_pte, tally):
+        """Hot-path twin of :meth:`fill` with deferred bookkeeping.
+
+        Performs the identical column mutations (fused evict +
+        install) but records stats, counter, and solo-bus increments
+        in ``tally`` (``TALLY_*`` slots) instead of touching the live
+        dicts per event; the owning machine flushes the tally once per
+        ``run_chunks`` call, which is arithmetically exact because
+        counter increments are modular sums.  Bus transactions are
+        broadcast live whenever a peer cache could snoop them (the
+        write-back/read-owned/read ops then reach other caches in the
+        same order the slow path would produce); on a private bus the
+        transaction is tallied instead.
+
+        Returns cycles only (the caller already knows the index).
+        """
+        index = (vaddr >> self.block_bits) & self.index_mask
+        transfer = self.block_transfer_cycles
+        cycles = 0
+        bus = self.bus
+        live_bus = self.has_peers
+        if self.valid[index]:
+            if self.block_dirty[index]:
+                cycles += transfer
+                tally[TALLY_WRITE_BACKS] += 1
+                if live_bus:
+                    bus.broadcast(self, BusOp.WRITE_BACK,
+                                  self.line_vaddr[index])
+                elif bus is not None:
+                    tally[TALLY_BUS] += 1
+            tally[TALLY_EVICTIONS] += 1
+
+        self.valid[index] = 1
+        self.tags[index] = vaddr >> self.tag_shift
+        self.line_vaddr[index] = vaddr & self.block_offset_mask
+        self.line_block[index] = vaddr >> self.block_bits
+        self.prot[index] = protection
+        self.page_dirty[index] = page_dirty
+        self.block_dirty[index] = by_write
+        self.filled_by_read[index] = not by_write
+        self.holds_pte[index] = holds_pte
+        if by_write:
+            self.state[index] = _OWNED_EXCLUSIVE
+            bus_op = BusOp.READ_OWNED
+        else:
+            self.state[index] = _UNOWNED
+            bus_op = BusOp.READ
+        if live_bus:
+            bus.broadcast(self, bus_op, vaddr)
+        elif bus is not None:
+            tally[TALLY_BUS] += 1
+        cycles += transfer
+        tally[TALLY_FILLS] += 1
+        return cycles
+
     def _evict(self, index):
         """Vacate one line, returning write-back cycles (0 if clean)."""
         cycles = 0
@@ -215,6 +307,32 @@ class VirtualCache:
             self._broadcast(bus_op, self.line_vaddr[index])
             return True
         return False
+
+    def acquire_ownership_fast(self, index, tally):
+        """Hot-path twin of :meth:`acquire_ownership`.
+
+        Identical state transitions (the two common ones — already
+        exclusive, and the unowned upgrade — are inlined; the rest go
+        through the protocol logic); the bus transaction follows the
+        :meth:`fill_fast` rule — broadcast live whenever a peer cache
+        could snoop it, tallied (``TALLY_BUS``) on a private bus.
+        """
+        state = self.state[index]
+        if state is _OWNED_EXCLUSIVE:
+            return False
+        if state is _UNOWNED:
+            self.state[index] = _OWNED_EXCLUSIVE
+            bus_op = BusOp.WRITE_FOR_OWNERSHIP
+        else:
+            next_state, bus_op = BerkeleyOwnership.on_write_hit(state)
+            self.state[index] = next_state
+            if bus_op is None:
+                return False
+        if self.has_peers:
+            self.bus.broadcast(self, bus_op, self.line_vaddr[index])
+        elif self.bus is not None:
+            tally[TALLY_BUS] += 1
+        return True
 
     # -- page-granularity helpers ---------------------------------------------
 

@@ -63,6 +63,10 @@ _EXTERNAL_EFFECTS = (
     ("random.Random", frozenset()),       # seedable instance
     ("random.seed", frozenset()),
     ("random.", frozenset({RANDOM})),
+    ("numpy.random.", frozenset({RANDOM})),
+    # Array arithmetic/indexing is pure; the hot loop's vectorized
+    # classifier depends on this signature for its R008 proof.
+    ("numpy.", frozenset()),
     ("secrets.", frozenset({RANDOM})),
     ("uuid.", frozenset({RANDOM})),
     ("os.urandom", frozenset({RANDOM})),

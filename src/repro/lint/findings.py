@@ -62,12 +62,14 @@ class LintConfig:
     })
 
     #: Module basename -> fields it may write (R002).  ``"*"`` means
-    #: every field.  cache.py owns the arrays; the machine's hot loop
-    #: and the dirty policies perform the documented single-field
-    #: updates (see the docstring of ``repro/cache/cache.py``).
+    #: every field.  cache.py owns the arrays; the machine's batched
+    #: resolver performs full inlined block installs (the same column
+    #: sequence as ``fill_fast``) plus the documented single-field
+    #: updates, and the dirty policies refresh their two cached-copy
+    #: fields (see the docstring of ``repro/cache/cache.py``).
     tag_array_writers: tuple = (
         ("cache.py", "*"),
-        ("simulator.py", frozenset({"block_dirty", "filled_by_read"})),
+        ("simulator.py", "*"),
         ("dirty.py", frozenset({"prot", "page_dirty"})),
     )
 
@@ -91,6 +93,11 @@ class LintConfig:
     effect_hot_loops: tuple = (
         "SpurMachine.run",
         "SpurMachine.run_chunks",
+        "SpurMachine._run_segment",
+        "SpurMachine._run_segment_columns",
+        "SpurMachine._run_refs",
+        "SpurMachine._resolve_miss",
+        "SpurMachine._resolve_write_hit",
     )
 
     #: Root qualnames whose reachable code the cache-key soundness

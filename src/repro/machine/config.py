@@ -67,7 +67,7 @@ class MachineConfig:
     flush_cost_scale: int = 1
     #: References between periodic page-daemon maintenance passes
     #: (Sprite's daemon cleared reference bits on a timer, not only
-    #: under memory pressure).  Must be a power of two; 0 disables.
+    #: under memory pressure).  Any positive interval; 0 disables.
     daemon_poll_refs: int = 65536
     #: Page-replacement daemon: "clock" (Sprite's second-chance clock,
     #: what the paper measured) or "segfifo" (the no-reference-bits
@@ -91,11 +91,9 @@ class MachineConfig:
         frames = self.memory_bytes // self.page_bytes
         if self.wired_frames >= frames:
             raise ConfigurationError("wired frames consume all memory")
-        if self.daemon_poll_refs and (
-            self.daemon_poll_refs & (self.daemon_poll_refs - 1)
-        ):
+        if self.daemon_poll_refs < 0:
             raise ConfigurationError(
-                "daemon_poll_refs must be 0 or a power of two"
+                "daemon_poll_refs must be 0 (disabled) or positive"
             )
 
     @property

@@ -19,6 +19,12 @@ Cycle model (Table 2.1, Section 3.2):
 """
 
 import sys
+from array import array
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI runs without numpy
+    _np = None
 
 from repro.common.errors import ProtectionFault
 from repro.common.types import AccessKind, Protection
@@ -26,18 +32,73 @@ from repro.common.units import SPUR_CYCLE_TIME_SECONDS
 from repro.counters.counters import PerformanceCounters
 from repro.counters.events import Event
 from repro.cache.bus import SnoopyBus
-from repro.cache.cache import VirtualCache
+from repro.cache.cache import (
+    TALLY_BUS,
+    TALLY_CACHE_SLOTS,
+    TALLY_EVICTIONS,
+    TALLY_FILLS,
+    TALLY_WRITE_BACKS,
+    VirtualCache,
+)
+from repro.cache.coherence import BusOp, CoherencyState
 from repro.cache.flush import TagCheckedFlush, TaglessFlush
 from repro.machine.cpu import ReferenceMix
 from repro.policies.dirty import make_dirty_policy
 from repro.policies.reference import make_reference_policy
 from repro.translation.incache import InCacheTranslator
-from repro.translation.pagetable import PageTable, PageTableLayout
+from repro.translation.pagetable import PTE_BYTES, PageTable, PageTableLayout
 from repro.vm.swap import SwapDevice
 from repro.vm.system import VirtualMemorySystem
 
 _WRITE = int(AccessKind.WRITE)
 _RW = int(Protection.READ_WRITE)
+_PROT_KERNEL = int(Protection.KERNEL)
+_UNOWNED = CoherencyState.UNOWNED
+_OWNED_EXCLUSIVE = CoherencyState.OWNED_EXCLUSIVE
+_BUS_READ = BusOp.READ
+_BUS_READ_OWNED = BusOp.READ_OWNED
+_BUS_WRITE_BACK = BusOp.WRITE_BACK
+_BUS_FOR_OWNERSHIP = BusOp.WRITE_FOR_OWNERSHIP
+
+# Simulator-side slots in the chunked loop's deferred tally (the cache
+# owns slots [0, TALLY_CACHE_SLOTS); see repro.cache.cache).  Each slot
+# accumulates one counter event; ``_flush_tally`` applies them in one
+# ``increment(event, n)`` per event, which is exact because counter
+# arithmetic is modular addition and nothing samples the counter bank
+# mid-call.
+# Events that are 1:1 with a tallied slot on the fast path are derived
+# at flush time instead of paying a per-reference tally op: TRANSLATION
+# and BLOCK_FILL equal the kind-miss sum, SECOND_LEVEL_LOOKUP equals
+# the PTE-miss count, and WRITE_MISS_FILL equals the write-miss count
+# (the fast path commits only after the writability checks).
+_T_PTE_HIT = TALLY_CACHE_SLOTS
+_T_PTE_MISS = TALLY_CACHE_SLOTS + 1
+_T_SECOND_HIT = TALLY_CACHE_SLOTS + 2
+_T_SECOND_MEMORY = TALLY_CACHE_SLOTS + 3
+_T_IFETCH_MISS = TALLY_CACHE_SLOTS + 4
+_T_READ_MISS = TALLY_CACHE_SLOTS + 5
+_T_WRITE_MISS = TALLY_CACHE_SLOTS + 6
+_T_WRITE_HIT_CLEAN = TALLY_CACHE_SLOTS + 7
+_T_WRITE_READ_FILLED = TALLY_CACHE_SLOTS + 8
+_TALLY_SLOTS = TALLY_CACHE_SLOTS + 9
+_TALLY_ZEROS = (0,) * _TALLY_SLOTS
+
+_TALLY_EVENTS = (
+    (_T_PTE_HIT, Event.PTE_CACHE_HIT),
+    (_T_PTE_MISS, Event.PTE_CACHE_MISS),
+    (_T_SECOND_HIT, Event.SECOND_LEVEL_CACHE_HIT),
+    (_T_SECOND_MEMORY, Event.SECOND_LEVEL_MEMORY_ACCESS),
+    (_T_IFETCH_MISS, Event.IFETCH_MISS),
+    (_T_READ_MISS, Event.READ_MISS),
+    (_T_WRITE_MISS, Event.WRITE_MISS),
+    (_T_WRITE_HIT_CLEAN, Event.WRITE_HIT_CLEAN_BLOCK),
+    (_T_WRITE_READ_FILLED, Event.WRITE_TO_READ_FILLED_BLOCK),
+)
+
+#: Minimum segment length (in references) worth the vectorized
+#: classifier's setup cost; shorter segments run the per-reference
+#: loop against the same columns.
+_COLUMN_MIN_REFS = 128
 
 # Byte patterns for C-speed kind tallies over a flat chunk's kind
 # slice (``array('q')``, so 8 bytes per element, native byte order).
@@ -146,6 +207,29 @@ class SpurMachine:
         #: system; page flushes then cover every cache in the domain.
         self.system = None
 
+        # Batched-resolver prebinds: structural constants of the page
+        # table layout and translator timing (both frozen), plus bound
+        # dict lookups for side-effect-free PTE / page-record probes.
+        # The dicts themselves are created once and never rebound.
+        layout = self.page_table.layout
+        self._pte_base = layout.pte_base
+        self._second_level_base = layout.second_level_base
+        self._pte_peek = self.page_table.peek
+        self._page_peek = self.vm.pages.get
+        self._pte_check_cycles = self.translator.timing.pte_check_cycles
+        self._second_check_cycles = (
+            self.translator.timing.second_level_check_cycles
+        )
+        #: Static policy traits (the policy objects are stateless and
+        #: never swapped after construction).
+        self._maintains_bits = self.reference_policy.maintains_bits
+        self._dirty_tracks_pte = self.dirty_policy.cached_dirty_tracks_pte
+        #: Whether the vectorized segment classifier is usable; tests
+        #: force the per-reference fallback by clearing this.
+        self._use_numpy = (
+            _np is not None and self.cache.columns.views is not None
+        )
+
     # -- coherence-domain operations ---------------------------------------
 
     def caches(self):
@@ -198,16 +282,24 @@ class SpurMachine:
         slow_write_hit = self._slow_write_hit
         miss = self._miss
 
-        poll_mask = self.config.daemon_poll_refs - 1
-        poll = self.vm.daemon.poll if poll_mask >= 0 else None
+        interval = self.config.daemon_poll_refs
+        poll = self.vm.daemon.poll if interval else None
+        # Countdown to the next daemon poll: the schedule polls before
+        # every ``interval``-th reference of the call, for any positive
+        # interval.  With polling disabled the countdown starts at
+        # (float) infinity so the zero test below never fires and the
+        # loop stays branch-light.
+        until_poll = interval if poll is not None else float("inf")
 
         cycles = 0
         kind_counts = [0, 0, 0]
         processed = 0
         for kind, vaddr in accesses:
             processed += 1
-            if not processed & poll_mask:
+            until_poll -= 1
+            if not until_poll:
                 cycles += poll()
+                until_poll = interval
             kind_counts[kind] += 1
             index = (vaddr >> block_bits) & index_mask
             if valid[index] and tags[index] == (vaddr >> tag_shift):
@@ -243,28 +335,23 @@ class SpurMachine:
         ``kind, vaddr`` pairs (see
         :meth:`repro.workloads.base.WorkloadInstance.access_chunks`).
         Bit-identical to feeding the same references through
-        :meth:`run`, but several times faster: the hit test is a
-        single compare against the cache's ``line_block`` array, kind
-        tallies come from byte-pattern counts over the chunk's kind
-        slice (memchr speed, no per-element boxing), kind-uniform
-        chunks run a vaddr-only inner loop with the kind held
-        constant, the per-reference cycle charge is folded into one
-        addition per call, and daemon polling runs at pre-computed
-        segment boundaries instead of a per-reference mask test.
-        Returns the number of references processed.
+        :meth:`run`, but several times faster: each chunk is cut into
+        poll-free segments (computed arithmetically, so any positive
+        ``daemon_poll_refs`` works) and every segment goes through
+        :meth:`_run_segment` — a vectorized classify-then-resolve pass
+        against the cache's flat columns when numpy is available, a
+        single-compare per-reference loop otherwise.  Kind tallies
+        come from byte-pattern counts over the chunk's kind slice
+        (memchr speed, no per-element boxing), the per-reference cycle
+        charge is folded into one addition per call, and miss-path
+        bookkeeping is deferred into a per-call tally flushed by
+        :meth:`_flush_tally`.  Returns the number of references
+        processed.
         """
-        cache = self.cache
-        line_block = cache.line_block
-        block_dirty = cache.block_dirty
-        page_dirty = cache.page_dirty
-        prot = cache.prot
-        block_bits = cache.block_bits
-        index_mask = cache.index_mask
-        slow_write_hit = self._slow_write_hit
-        miss = self._miss
-
-        poll_mask = self.config.daemon_poll_refs - 1
-        poll = self.vm.daemon.poll if poll_mask >= 0 else None
+        run_segment = self._run_segment
+        interval = self.config.daemon_poll_refs
+        poll = self.vm.daemon.poll if interval else None
+        tally = array("q", _TALLY_ZEROS)
 
         cycles = 0
         extra = 0
@@ -272,107 +359,70 @@ class SpurMachine:
         reads = 0
         writes = 0
         processed = 0
-        for chunk in chunks:
-            pairs = len(chunk) >> 1
-            if not pairs:
-                continue
-            kind_bytes = chunk[0::2].tobytes()
-            chunk_ifetches = kind_bytes.count(_KIND_ZERO_BYTES)
-            chunk_writes = kind_bytes.count(_KIND_WRITE_BYTES)
-            ifetches += chunk_ifetches
-            writes += chunk_writes
-            reads += pairs - chunk_ifetches - chunk_writes
-            # ``(processed | poll_mask) + 1`` is the number of the next
-            # reference at which the legacy loop would poll the page
-            # daemon (the smallest n > processed with n % interval ==
-            # 0).  Whole chunks that contain no such boundary take the
-            # branch-light paths below; chunks that do are split into
-            # poll-free segments around each polling reference.
-            if poll is None or (processed | poll_mask) + 1 > (
-                processed + pairs
-            ):
-                if chunk_writes == 0 and (
-                    chunk_ifetches == 0 or chunk_ifetches == pairs
-                ):
-                    # Kind-uniform read or ifetch chunk: the kind is
-                    # a constant, so the loop carries vaddrs only.
-                    uniform = 0 if chunk_ifetches else 1
-                    for vaddr in chunk[1::2]:
-                        block = vaddr >> block_bits
-                        if line_block[block & index_mask] != block:
-                            extra += miss(uniform, vaddr)
-                    processed += pairs
+        try:
+            for chunk in chunks:
+                pairs = len(chunk) >> 1
+                if not pairs:
                     continue
-                it = iter(chunk)
-                for kind, vaddr in zip(it, it):
-                    block = vaddr >> block_bits
-                    if line_block[block & index_mask] == block:
-                        if kind != 2:
-                            continue
-                        index = block & index_mask
-                        if (
-                            block_dirty[index]
-                            and page_dirty[index]
-                            and prot[index] == _RW
-                        ):
-                            continue
-                        extra += slow_write_hit(index, vaddr)
-                        continue
-                    extra += miss(kind, vaddr)
-                processed += pairs
-                continue
-            start = 0
-            while start < pairs:
-                free = (processed | poll_mask) - processed
-                segment = free if free < pairs - start else (
-                    pairs - start
-                )
-                if segment:
-                    end = (start + segment) << 1
-                    it = iter(chunk[start << 1:end])
-                    for kind, vaddr in zip(it, it):
-                        block = vaddr >> block_bits
-                        if line_block[block & index_mask] == block:
-                            if kind != 2:
-                                continue
-                            index = block & index_mask
-                            if (
-                                block_dirty[index]
-                                and page_dirty[index]
-                                and prot[index] == _RW
-                            ):
-                                continue
-                            extra += slow_write_hit(index, vaddr)
-                            continue
-                        extra += miss(kind, vaddr)
-                    processed += segment
-                    start += segment
-                if start < pairs:
-                    # The next reference lands on the poll boundary:
-                    # poll first (the legacy loop polls before handling
-                    # the reference), then process it inline.
-                    cycles += poll()
-                    offset = start << 1
-                    kind = chunk[offset]
-                    vaddr = chunk[offset + 1]
-                    block = vaddr >> block_bits
-                    if line_block[block & index_mask] == block:
-                        if kind == 2:
-                            index = block & index_mask
-                            if not (
-                                block_dirty[index]
-                                and page_dirty[index]
-                                and prot[index] == _RW
-                            ):
-                                extra += slow_write_hit(index, vaddr)
+                kind_bytes = chunk[0::2].tobytes()
+                chunk_ifetches = kind_bytes.count(_KIND_ZERO_BYTES)
+                chunk_writes = kind_bytes.count(_KIND_WRITE_BYTES)
+                ifetches += chunk_ifetches
+                writes += chunk_writes
+                reads += pairs - chunk_ifetches - chunk_writes
+                # Kind-uniform read or ifetch chunks let the fallback
+                # segment loop carry vaddrs only (kind held constant);
+                # chunks containing writes stay mixed because write
+                # hits need the settled-dirty test.
+                if chunk_writes:
+                    uniform = -1
+                elif chunk_ifetches == 0:
+                    uniform = 1
+                elif chunk_ifetches == pairs:
+                    uniform = 0
+                else:
+                    uniform = -1
+                start = 0
+                while start < pairs:
+                    if poll is None:
+                        stop = pairs
                     else:
-                        extra += miss(kind, vaddr)
-                    processed += 1
-                    start += 1
+                        # References left before the next poll
+                        # boundary: the legacy loop polls before
+                        # handling every ``interval``-th reference of
+                        # the call, so ``processed % interval ==
+                        # interval - 1`` means the next reference
+                        # polls first.
+                        stop = start + interval - 1 - (
+                            processed % interval
+                        )
+                        if stop > pairs:
+                            stop = pairs
+                    if stop > start:
+                        extra += run_segment(
+                            chunk, start, stop, tally, uniform
+                        )
+                        processed += stop - start
+                        start = stop
+                    if start < pairs:
+                        # The next reference lands on the poll
+                        # boundary: poll first, then process it as a
+                        # one-reference segment.
+                        cycles += poll()
+                        extra += run_segment(
+                            chunk, start, start + 1, tally, uniform
+                        )
+                        processed += 1
+                        start += 1
+        finally:
+            # Deferred bookkeeping must land even when a slow path
+            # raises (protection faults propagate to the caller with
+            # the same counter state the legacy loop would leave).
+            self._flush_tally(tally)
 
         # Deferred accounting: every reference costs its base cycle
-        # (hence ``+ processed``); slow paths and polls added theirs
-        # to ``extra`` and ``cycles``.
+        # (hence ``+ processed``); slow paths and the resolver added
+        # theirs to ``extra``, polls to ``cycles``.
         self.cycles += cycles + extra + processed
         self.references += processed
         mix = ReferenceMix(
@@ -381,6 +431,395 @@ class SpurMachine:
         mix.flush_to_counters(self.counters)
         self.reference_mix.add(mix.ifetches, mix.reads, mix.writes)
         return processed
+
+    def _run_segment(self, chunk, start, end, tally, uniform):
+        """Process the poll-free segment ``chunk[start:end)`` (pair
+        indices), returning cycles beyond the base charge.
+
+        Dispatches to the vectorized classifier when the cache's numpy
+        column views exist and the segment is long enough to amortize
+        the setup; otherwise runs the per-reference fallback.
+        """
+        if self._use_numpy and end - start >= _COLUMN_MIN_REFS:
+            return self._run_segment_columns(chunk, start, end, tally)
+        return self._run_refs(chunk, start, end, tally, uniform)
+
+    def _run_refs(self, chunk, start, end, tally, uniform):
+        """Per-reference segment loop over ``chunk[start:end)``.
+
+        The structural workhorse behind :meth:`_run_segment`: used
+        when numpy is unavailable, for short segments, and to finish a
+        vectorized segment whose upfront classification went stale.
+        ``uniform`` >= 0 pins every reference's kind (a kind-uniform
+        read/ifetch chunk), enabling a vaddr-only loop.  Returns extra
+        cycles beyond the base charge.
+        """
+        cache = self.cache
+        line_block = cache.line_block
+        block_dirty = cache.block_dirty
+        page_dirty = cache.page_dirty
+        prot = cache.prot
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
+        write_hit = self._resolve_write_hit
+        resolve = self._resolve_miss
+        extra = 0
+        lo = start << 1
+        hi = end << 1
+        if uniform >= 0:
+            for vaddr in chunk[lo + 1:hi:2]:
+                block = vaddr >> block_bits
+                if line_block[block & index_mask] != block:
+                    extra += resolve(uniform, vaddr, tally)
+            return extra
+        it = iter(chunk[lo:hi])
+        for kind, vaddr in zip(it, it):
+            block = vaddr >> block_bits
+            if line_block[block & index_mask] == block:
+                if kind != 2:
+                    continue
+                index = block & index_mask
+                if (
+                    block_dirty[index]
+                    and page_dirty[index]
+                    and prot[index] == _RW
+                ):
+                    continue
+                extra += write_hit(index, vaddr, tally)
+                continue
+            extra += resolve(kind, vaddr, tally)
+        return extra
+
+    def _run_segment_columns(self, chunk, start, end, tally):
+        """Vectorized segment pass against the cache's flat columns.
+
+        One numpy index/compare sweep classifies every reference in
+        the segment: hits on settled lines are *events-free* and cost
+        nothing beyond the base cycle, so only the flagged positions
+        (misses, and write hits whose dirty state is unsettled) are
+        walked in order and resolved individually.
+
+        Resolutions mutate the columns, so a position classified
+        clean in the upfront sweep may have gone stale (its line
+        evicted, its settled write unsettled) by the time it is
+        reached.  After the first mutation, every skipped gap is
+        re-verified against the live views (:meth:`_first_stale`,
+        zero-copy over the same buffers); if anything changed, the
+        rest of the segment finishes in the per-reference loop —
+        exact, and bounded linear even on pathological conflict
+        streams.  Returns extra cycles beyond the base charge.
+        """
+        views = self.cache.columns.views
+        flat = _np.frombuffer(chunk, dtype=_np.int64)
+        seg = flat[start << 1:end << 1]
+        kinds = seg[0::2]
+        vaddrs = seg[1::2]
+        cache = self.cache
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
+        blocks = vaddrs >> block_bits
+        idx = blocks & index_mask
+        miss = _np.not_equal(views.line_block[idx], blocks)
+        is_write = _np.equal(kinds, _WRITE)
+        if bool(is_write.any()):
+            unsettled = (
+                is_write
+                & ~miss
+                & ~(
+                    (views.block_dirty[idx] != 0)
+                    & (views.page_dirty[idx] != 0)
+                    & (views.prot[idx] == _RW)
+                )
+            )
+            events = _np.flatnonzero(miss | unsettled)
+        else:
+            events = _np.flatnonzero(miss)
+        if not events.size:
+            return 0
+        positions = events.tolist()
+
+        line_block = cache.line_block
+        block_dirty = cache.block_dirty
+        page_dirty = cache.page_dirty
+        prot = cache.prot
+        write_hit = self._resolve_write_hit
+        resolve = self._resolve_miss
+        run_refs = self._run_refs
+        first_stale = self._first_stale
+        base = start << 1
+        extra = 0
+        mutated = False
+        prev = 0
+        for p in positions:
+            if mutated and p > prev:
+                stale = first_stale(blocks, idx, is_write, prev, p)
+                if stale >= 0:
+                    return extra + run_refs(
+                        chunk, start + stale, end, tally, -1
+                    )
+            offset = base + (p << 1)
+            kind = chunk[offset]
+            vaddr = chunk[offset + 1]
+            block = vaddr >> block_bits
+            index = block & index_mask
+            if line_block[index] == block:
+                # Classified as an unsettled write hit; an earlier
+                # resolution may have settled it, so re-test live.
+                if kind == 2 and not (
+                    block_dirty[index]
+                    and page_dirty[index]
+                    and prot[index] == _RW
+                ):
+                    extra += write_hit(index, vaddr, tally)
+                    mutated = True
+            else:
+                extra += resolve(kind, vaddr, tally)
+                mutated = True
+            prev = p + 1
+        if mutated and prev < end - start:
+            stale = first_stale(blocks, idx, is_write, prev, end - start)
+            if stale >= 0:
+                return extra + run_refs(
+                    chunk, start + stale, end, tally, -1
+                )
+        return extra
+
+    def _first_stale(self, blocks, idx, is_write, lo, hi):
+        """First position in ``[lo, hi)`` whose clean classification
+        no longer holds against the live columns, or -1.
+
+        Called between events while walking a vectorized segment: the
+        slow paths mutate the columns, so references classified clean
+        in the upfront sweep are re-verified (one vectorized pass over
+        the gap, against the same shared buffers) before being
+        skipped.
+        """
+        views = self.cache.columns.views
+        gap_idx = idx[lo:hi]
+        gap_miss = _np.not_equal(
+            views.line_block[gap_idx], blocks[lo:hi]
+        )
+        bad = gap_miss | (
+            is_write[lo:hi]
+            & ~gap_miss
+            & ~(
+                (views.block_dirty[gap_idx] != 0)
+                & (views.page_dirty[gap_idx] != 0)
+                & (views.prot[gap_idx] == _RW)
+            )
+        )
+        flagged = _np.flatnonzero(bad)
+        if flagged.size:
+            return lo + int(flagged[0])
+        return -1
+
+    def _resolve_miss(self, kind, vaddr, tally):
+        """Batched-path twin of :meth:`_miss` with deferred counters.
+
+        Commits only when the miss is provably free of structural
+        events: PTE present and valid, reference bit settled, and (for
+        writes) page record present, region writable, and the dirty
+        policy's write-miss hook a no-op
+        (:meth:`~repro.policies.dirty.DirtyBitPolicy.
+        write_miss_settled`).  Everything else — page faults,
+        reference faults, dirty-bit work, protection faults,
+        first-touch PTE/page creation — delegates to the legacy
+        :meth:`_miss` *before* any state or tally is touched, so those
+        paths stay bit-identical, exceptions included.
+
+        The commit path replays the in-cache PTE walk of
+        :class:`~repro.translation.incache.InCacheTranslator` as plain
+        arithmetic against the ``line_block`` column; PTE blocks are
+        installed through :meth:`~repro.cache.cache.VirtualCache.
+        fill_fast` and the data block's install is the same column
+        sequence inlined (this method is a sanctioned tag-array
+        writer), recording every counter/stats/bus increment in
+        ``tally`` slots.  Returns cycles.
+        """
+        vpn = vaddr >> self.page_bits
+        pte = self._pte_peek(vpn)
+        if pte is None or not pte.valid:
+            return self._miss(kind, vaddr)
+        if not pte.referenced and self._maintains_bits:
+            return self._miss(kind, vaddr)
+        is_write = kind == 2
+        if is_write:
+            page = self._page_peek(vpn)
+            if page is None or not page.region.writable:
+                return self._miss(kind, vaddr)
+            if not self.dirty_policy.write_miss_settled(pte):
+                return self._miss(kind, vaddr)
+
+        cache = self.cache
+        line_block = cache.line_block
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
+        fill_fast = cache.fill_fast
+        if kind == 0:
+            tally[_T_IFETCH_MISS] += 1
+        elif kind == 1:
+            tally[_T_READ_MISS] += 1
+        else:
+            tally[_T_WRITE_MISS] += 1
+        cycles = self._pte_check_cycles
+        pte_vaddr = self._pte_base + vpn * PTE_BYTES
+        block = pte_vaddr >> block_bits
+        if line_block[block & index_mask] == block:
+            tally[_T_PTE_HIT] += 1
+        else:
+            tally[_T_PTE_MISS] += 1
+            cycles += self._second_check_cycles
+            second_vaddr = self._second_level_base + (
+                pte_vaddr >> self.page_bits
+            ) * PTE_BYTES
+            sblock = second_vaddr >> block_bits
+            if line_block[sblock & index_mask] == sblock:
+                tally[_T_SECOND_HIT] += 1
+            else:
+                tally[_T_SECOND_MEMORY] += 1
+                cycles += fill_fast(
+                    second_vaddr, _PROT_KERNEL, True, False, True,
+                    tally,
+                )
+            cycles += fill_fast(
+                pte_vaddr, _PROT_KERNEL, True, False, True, tally
+            )
+        # Data-block install: fill_fast's exact column sequence,
+        # inlined to reuse this frame's locals on the per-miss hot
+        # path.  fill_page_dirty is pte.is_modified() exactly when the
+        # policy declares cached_dirty_tracks_pte (the WRITE policy is
+        # the one unconditional-True exception).
+        block = vaddr >> block_bits
+        index = block & index_mask
+        transfer = cache.block_transfer_cycles
+        bus = cache.bus
+        if cache.valid[index]:
+            if cache.block_dirty[index]:
+                cycles += transfer
+                tally[TALLY_WRITE_BACKS] += 1
+                if cache.has_peers:
+                    bus.broadcast(cache, _BUS_WRITE_BACK,
+                                  cache.line_vaddr[index])
+                elif bus is not None:
+                    tally[TALLY_BUS] += 1
+            tally[TALLY_EVICTIONS] += 1
+        cache.valid[index] = 1
+        cache.tags[index] = vaddr >> cache.tag_shift
+        cache.line_vaddr[index] = vaddr & cache.block_offset_mask
+        line_block[index] = block
+        cache.prot[index] = pte.protection
+        cache.page_dirty[index] = (
+            pte.is_modified() if self._dirty_tracks_pte else True
+        )
+        cache.block_dirty[index] = is_write
+        cache.filled_by_read[index] = not is_write
+        cache.holds_pte[index] = 0
+        if is_write:
+            cache.state[index] = _OWNED_EXCLUSIVE
+            bus_op = _BUS_READ_OWNED
+        else:
+            cache.state[index] = _UNOWNED
+            bus_op = _BUS_READ
+        if cache.has_peers:
+            bus.broadcast(cache, bus_op, vaddr)
+        elif bus is not None:
+            tally[TALLY_BUS] += 1
+        cycles += transfer
+        tally[TALLY_FILLS] += 1
+        return cycles
+
+    def _resolve_write_hit(self, index, vaddr, tally):
+        """Batched-path twin of :meth:`_slow_write_hit`.
+
+        Commits only when the hit is provably free of policy work: the
+        PTE and page record already exist (so no first-touch creation),
+        the region is writable, and the dirty policy's write-hit hook
+        is a zero-cycle no-op
+        (:meth:`~repro.policies.dirty.DirtyBitPolicy.
+        write_hit_settled`).  Everything else — protection faults,
+        dirty-bit faults, cached-copy refreshes, page flushes —
+        delegates to the legacy :meth:`_slow_write_hit` *before* any
+        state or tally is touched.
+
+        The commit path mirrors the legacy bookkeeping exactly: the
+        clean-block and read-filled-block counters are deferred into
+        tally slots, the block-dirty bit is set, and the Berkeley
+        write-hit transition is applied (the two common cases inline,
+        the rest through :meth:`~repro.cache.cache.VirtualCache.
+        acquire_ownership_fast`; the settled handler cannot have moved
+        the block, so no re-probe is needed).  The slow path's
+        region-writable recheck is covered by the predicate's
+        contract — settled implies the write cannot protection-fault —
+        so only the record-existence peeks remain.  Returns cycles
+        (always 0: a settled write hit is free).
+        """
+        cache = self.cache
+        if not self.dirty_policy.write_hit_settled(cache, index):
+            return self._slow_write_hit(index, vaddr)
+        vpn = vaddr >> self.page_bits
+        if self._pte_peek(vpn) is None or self._page_peek(vpn) is None:
+            return self._slow_write_hit(index, vaddr)
+        if not cache.block_dirty[index]:
+            tally[_T_WRITE_HIT_CLEAN] += 1
+            if cache.filled_by_read[index]:
+                tally[_T_WRITE_READ_FILLED] += 1
+                cache.filled_by_read[index] = 0
+            cache.block_dirty[index] = 1
+        state = cache.state[index]
+        if state is not _OWNED_EXCLUSIVE:
+            if state is _UNOWNED:
+                cache.state[index] = _OWNED_EXCLUSIVE
+                if cache.has_peers:
+                    cache.bus.broadcast(cache, _BUS_FOR_OWNERSHIP,
+                                        cache.line_vaddr[index])
+                elif cache.bus is not None:
+                    tally[TALLY_BUS] += 1
+            else:
+                cache.acquire_ownership_fast(index, tally)
+        return 0
+
+    def _flush_tally(self, tally):
+        """Apply one chunk run's deferred tallies to the live books.
+
+        Exact regardless of where the run stopped: counter increments
+        are modular sums, stats are plain sums, and nothing samples
+        the books mid-call (the observer and sanitizer both cut
+        between calls).
+        """
+        increment = self.counters.increment
+        stats = self.cache.stats
+        fills = tally[TALLY_FILLS]
+        if fills:
+            stats["fills"] += fills
+        evictions = tally[TALLY_EVICTIONS]
+        if evictions:
+            stats["evictions"] += evictions
+        write_backs = tally[TALLY_WRITE_BACKS]
+        if write_backs:
+            stats["write_backs"] += write_backs
+            increment(Event.WRITE_BACK, write_backs)
+        bus_count = tally[TALLY_BUS]
+        if bus_count:
+            self.cache.bus.transactions += bus_count
+            increment(Event.BUS_TRANSACTION, bus_count)
+        # Derived events (see the tally-slot table): 1:1 with tallied
+        # slots on the fast path, so they are summed here instead of
+        # paying per-reference tally ops.
+        miss_sum = (tally[_T_IFETCH_MISS] + tally[_T_READ_MISS]
+                    + tally[_T_WRITE_MISS])
+        if miss_sum:
+            increment(Event.TRANSLATION, miss_sum)
+            increment(Event.BLOCK_FILL, miss_sum)
+        pte_misses = tally[_T_PTE_MISS]
+        if pte_misses:
+            increment(Event.SECOND_LEVEL_LOOKUP, pte_misses)
+        write_misses = tally[_T_WRITE_MISS]
+        if write_misses:
+            increment(Event.WRITE_MISS_FILL, write_misses)
+        for slot, event in _TALLY_EVENTS:
+            count = tally[slot]
+            if count:
+                increment(event, count)
 
     # -- slow paths ------------------------------------------------------
 

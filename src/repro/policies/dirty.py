@@ -59,6 +59,35 @@ class DirtyBitPolicy:
             return 0
         return self._necessary_fault(machine, pte)
 
+    def write_miss_settled(self, pte):
+        """True iff :meth:`on_write_miss` would be a zero-cycle no-op.
+
+        The chunked hot loop's batched resolver uses this to keep
+        settled write misses off the slow path; a policy that changes
+        :meth:`on_write_miss`'s no-op condition must override this
+        predicate to match (the chunked-equivalence grid enforces the
+        pairing).
+        """
+        return pte.is_modified()
+
+    def write_hit_settled(self, cache, index):
+        """True iff :meth:`handle_write_hit` would be a zero-cycle,
+        zero-mutation no-op for this cached line.
+
+        The chunked hot loop's batched resolver uses this to keep
+        settled write hits (only the block-dirty bit needs setting)
+        off the slow path.  A True return also asserts the write
+        cannot protection-fault: a set page-dirty copy means a write
+        to the page already succeeded, and a cached read-write
+        protection means the mapping granted it, so the resolver skips
+        the slow path's region-writable recheck.  The default is the
+        conservative ``False``; a policy overriding
+        :meth:`handle_write_hit` with a cheap settled branch should
+        override this predicate to match (the chunked-equivalence grid
+        enforces the pairing).
+        """
+        return False
+
     # -- shared handler pieces -------------------------------------------
 
     def _necessary_fault(self, machine, pte):
@@ -118,6 +147,10 @@ class FaultDirtyPolicy(DirtyBitPolicy):
         cache.prot[index] = int(Protection.READ_WRITE)
         cache.page_dirty[index] = True
         return cycles
+
+    def write_hit_settled(self, cache, index):
+        # Mirrors the handler's first branch (FLUSH inherits both).
+        return cache.prot[index] == int(Protection.READ_WRITE)
 
 
 class FlushDirtyPolicy(FaultDirtyPolicy):
@@ -200,6 +233,15 @@ class SpurDirtyPolicy(DirtyBitPolicy):
         cycles = self._necessary_fault(machine, pte)
         return cycles + machine.fault_timing.dirty_bit_miss
 
+    def write_miss_settled(self, pte):
+        # SPUR keys the miss-time check on the hardware bit alone: a
+        # software-dirty page still pays the dirty-bit-miss refresh.
+        return pte.dirty
+
+    def write_hit_settled(self, cache, index):
+        # A set cached copy is exactly the hardware's "no work" case.
+        return cache.page_dirty[index]
+
 
 class ProtectionMissDirtyPolicy(DirtyBitPolicy):
     """PROTMISS: the generalized SPUR scheme, applied to protection.
@@ -248,6 +290,10 @@ class ProtectionMissDirtyPolicy(DirtyBitPolicy):
             return 0
         cycles = self._necessary_fault(machine, pte)
         return cycles + machine.fault_timing.dirty_bit_miss
+
+    def write_hit_settled(self, cache, index):
+        # An up-to-date cached protection copy permits the write.
+        return cache.prot[index] == int(Protection.READ_WRITE)
 
 
 class WriteDirtyPolicy(DirtyBitPolicy):
@@ -301,6 +347,12 @@ class MinDirtyPolicy(DirtyBitPolicy):
         cycles = self._necessary_fault(machine, pte)
         cache.page_dirty[index] = True
         return cycles
+
+    def write_hit_settled(self, cache, index):
+        # Only the set-copy branch is mutation-free: the free refresh
+        # (clean copy, dirty PTE) updates the copy and must stay on
+        # the slow path.
+        return cache.page_dirty[index]
 
 
 _DIRTY_POLICIES = {

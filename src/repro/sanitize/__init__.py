@@ -16,6 +16,7 @@ from repro.sanitize.checks import (
     check_block_ownership,
     check_bus_coherence,
     check_cache_arrays,
+    check_column_store,
     check_dirty_policy,
     check_line,
     check_vm,
@@ -31,6 +32,7 @@ __all__ = [
     "check_block_ownership",
     "check_bus_coherence",
     "check_cache_arrays",
+    "check_column_store",
     "check_dirty_policy",
     "check_line",
     "check_vm",

@@ -18,6 +18,10 @@ from repro.sanitize.violation import InvariantViolation
 _INVALID = int(CoherencyState.INVALID)
 _OWNED_SHARED = int(CoherencyState.OWNED_SHARED)
 
+#: Column-store flag columns constrained to boolean 0/1 values.
+_BOOL_COLUMNS = ("valid", "page_dirty", "block_dirty",
+                 "filled_by_read", "holds_pte")
+
 #: The parallel per-line tag arrays a :class:`VirtualCache` keeps.
 TAG_ARRAY_FIELDS = (
     "valid",
@@ -157,8 +161,62 @@ def check_cache_arrays(cache, ref_index=None):
                 machine=cache.name,
                 ref_index=ref_index,
             )
+    check_column_store(cache, ref_index=ref_index)
     for index in range(num_lines):
         check_line(cache, index, ref_index=ref_index)
+
+
+def check_column_store(cache, ref_index=None):
+    """Validate the cache's flat column store and its aliases.
+
+    Invariant ``cache.column-store-agreement``, in three parts:
+
+    * every flat tag-array attribute on the cache is the *same
+      object* as the corresponding :class:`~repro.cache.columns.
+      ColumnStore` column — the hot loop, the slow paths, and the
+      vectorized classifier must all mutate one buffer, and an
+      accidental rebinding (``cache.valid = [...]``) would silently
+      desynchronize them;
+    * flag columns hold only 0/1 — a stray byte would corrupt the
+      batched classifier's boolean masks;
+    * when numpy views exist, each view still reflects the backing
+      buffer value-for-value (zero-copy aliasing intact).
+    """
+    columns = getattr(cache, "columns", None)
+    if columns is None:
+        return
+    for name, column in columns.columns():
+        if getattr(cache, name) is not column:
+            raise InvariantViolation(
+                "cache.column-store-agreement",
+                f"cache attribute {name!r} was rebound away from its "
+                f"column-store buffer",
+                machine=cache.name,
+                ref_index=ref_index,
+            )
+    for name in _BOOL_COLUMNS:
+        column = getattr(columns, name)
+        for index, value in enumerate(column):
+            if value > 1:
+                raise InvariantViolation(
+                    "cache.column-store-agreement",
+                    f"flag column {name!r} holds non-boolean value "
+                    f"{value} at line {index}",
+                    machine=cache.name,
+                    ref_index=ref_index,
+                )
+    views = columns.views
+    if views is not None:
+        for name, column in columns.columns():
+            view = getattr(views, name)
+            if len(view) != len(column) or view.tolist() != list(column):
+                raise InvariantViolation(
+                    "cache.column-store-agreement",
+                    f"numpy view of column {name!r} no longer aliases "
+                    f"the backing buffer",
+                    machine=cache.name,
+                    ref_index=ref_index,
+                )
 
 
 def check_block_ownership(bus, block_vaddr, ref_index=None):

@@ -109,6 +109,11 @@ class PageTable:
     def __init__(self, layout=None):
         self.layout = layout or PageTableLayout()
         self._entries = {}
+        #: Bound ``dict.get``: the PTE for a vpn or ``None``, with no
+        #: entry creation and no call overhead beyond the dict lookup.
+        #: The batched miss resolver probes this before committing to
+        #: its fast path (``None`` → the legacy path owns creation).
+        self.peek = self._entries.get
 
     def __len__(self):
         return len(self._entries)

@@ -214,9 +214,9 @@ class TestR002TagArrayWrites:
         assert findings_for("R002", [path], config) == []
 
     def test_partial_sanction_is_field_scoped(self, tmp_path, config):
-        path = write(tmp_path, "simulator.py", """\
-            def hit(cache, index):
-                cache.block_dirty[index] = True
+        path = write(tmp_path, "dirty.py", """\
+            def refresh(cache, index):
+                cache.page_dirty[index] = True
                 cache.tags[index] = 9
             """)
         found = findings_for("R002", [path], config)

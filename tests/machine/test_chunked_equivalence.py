@@ -191,6 +191,159 @@ class TestMachineStatePollSchedule:
         assert machine_state(chunked) == machine_state(legacy)
 
 
+def conflict_trace(regions, count):
+    """Read stream striding over 3x the cache's line count: nearly
+    every reference misses, exercising the batched miss resolver."""
+    heap = regions["heap"].start
+    return [(READ, heap + (i * 37 % 96) * 32) for i in range(count)]
+
+
+def write_pair_trace(regions, count):
+    """Read-then-write pairs: every write is a clean-block write hit,
+    exercising the batched write-hit resolver."""
+    heap = regions["heap"].start
+    refs = []
+    for i in range(count // 2):
+        vaddr = heap + (i % 64) * 32
+        refs.append((READ, vaddr))
+        refs.append((WRITE, vaddr))
+    return refs
+
+
+class TestNonPowerOfTwoPoll:
+    """daemon_poll_refs was once restricted to powers of two; the
+    arithmetic segmentation must handle any positive interval."""
+
+    def test_poll_1000_matches_legacy(self):
+        from repro.machine.simulator import SpurMachine
+
+        space_map, regions = simple_space()
+        trace = mixed_trace(regions, 3500)
+        legacy = SpurMachine(tiny_config(daemon_poll_refs=1000),
+                             space_map)
+        legacy.run(trace)
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(daemon_poll_refs=1000),
+                              space_map2)
+        chunked.run_chunks(chunk_accesses(iter(trace), 256))
+        assert machine_state(chunked) == machine_state(legacy)
+
+    @pytest.mark.parametrize("chunk_refs", [1, 63, 64, 65])
+    def test_chunk_size_poll_interval_edges(self, chunk_refs):
+        # Chunk sizes of exactly the poll interval and one either
+        # side hit every boundary case of the segment arithmetic.
+        from repro.machine.simulator import SpurMachine
+
+        space_map, regions = simple_space()
+        trace = mixed_trace(regions, 700)
+        legacy = SpurMachine(tiny_config(daemon_poll_refs=64),
+                             space_map)
+        legacy.run(trace)
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(daemon_poll_refs=64),
+                              space_map2)
+        chunked.run_chunks(chunk_accesses(iter(trace), chunk_refs))
+        assert machine_state(chunked) == machine_state(legacy)
+
+    def test_trace_ends_on_poll_boundary(self):
+        # The final reference is itself a poll boundary: the schedule
+        # must not fire a trailing poll the legacy loop would skip.
+        from repro.machine.simulator import SpurMachine
+
+        space_map, regions = simple_space()
+        trace = mixed_trace(regions, 200)
+        legacy = SpurMachine(tiny_config(daemon_poll_refs=100),
+                             space_map)
+        legacy.run(trace)
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(daemon_poll_refs=100),
+                              space_map2)
+        chunked.run_chunks(chunk_accesses(iter(trace), 128))
+        assert machine_state(chunked) == machine_state(legacy)
+
+
+class TestResolverDominatedTraces:
+    """Miss- and write-dominated streams, chunked under the full
+    invariant sanitizer (including the column-store-agreement check),
+    stay bit-identical to the legacy loop."""
+
+    @pytest.mark.parametrize("builder", [conflict_trace,
+                                         write_pair_trace])
+    def test_dominated_trace_sanitized(self, builder):
+        from repro.machine.simulator import SpurMachine
+        from repro.sanitize import sanitizer as sanitize_mod
+
+        space_map, regions = simple_space()
+        trace = builder(regions, 3000)
+        legacy = SpurMachine(tiny_config(), space_map)
+        legacy.run(trace)
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(), space_map2)
+        guard = sanitize_mod.attach(chunked, mode="full")
+        try:
+            chunked.run_chunks(chunk_accesses(iter(trace), 512))
+            guard.check_now()
+        finally:
+            guard.detach()
+        assert machine_state(chunked) == machine_state(legacy)
+
+
+class TestClassifierPaths:
+    """Both classifier implementations produce identical machines."""
+
+    @pytest.mark.parametrize("builder", [mixed_trace, conflict_trace,
+                                         write_pair_trace])
+    def test_python_fallback_matches_legacy(self, builder):
+        # Clearing _use_numpy forces the per-reference fallback even
+        # where the vectorized classifier would normally dispatch.
+        from repro.machine.simulator import SpurMachine
+
+        space_map, regions = simple_space()
+        trace = builder(regions, 2000)
+        legacy = SpurMachine(tiny_config(), space_map)
+        legacy.run(trace)
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(), space_map2)
+        chunked._use_numpy = False
+        chunked.run_chunks(chunk_accesses(iter(trace), 512))
+        assert machine_state(chunked) == machine_state(legacy)
+
+    def test_gap_recheck_on_stale_classification(self):
+        # Interleave stable hits with a conflicting block pair: the
+        # upfront sweep classifies the second pair member a hit, the
+        # first member's resolution evicts it, and the gap re-check
+        # must catch the stale classification mid-segment.
+        from repro.machine import simulator
+        from repro.machine.simulator import SpurMachine
+
+        if simulator._np is None:
+            pytest.skip("numpy unavailable")
+
+        space_map, regions = simple_space()
+        heap = regions["heap"].start
+        a, b = heap, heap + 32 * 32          # same line, different blocks
+        stable = [heap + line * 32 for line in range(1, 9)]
+        trace = []
+        for i in range(300):
+            trace.append((READ, a))
+            trace.append((READ, stable[i % 8]))
+            trace.append((READ, b))
+            trace.append((READ, stable[(i + 3) % 8]))
+        legacy = SpurMachine(tiny_config(), space_map)
+        legacy.run(trace)
+
+        space_map2, _ = simple_space()
+        chunked = SpurMachine(tiny_config(), space_map2)
+        assert chunked._use_numpy, "columns path should be active"
+        chunked.run_chunks(chunk_accesses(iter(trace), 512))
+        assert machine_state(chunked) == machine_state(legacy)
+
+
 class TestSmpInterleaving:
     def test_chunked_interleave_matches_legacy(self):
         def build():

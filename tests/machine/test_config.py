@@ -90,11 +90,14 @@ class TestValidation:
             MachineConfig(page_bytes=4096, memory_bytes=2 * 4096,
                           wired_frames=2)
 
-    def test_poll_refs_must_be_power_of_two(self):
-        with pytest.raises(ConfigurationError):
-            MachineConfig(daemon_poll_refs=1000)
+    def test_poll_refs_any_positive_interval(self):
+        # The chunked loop computes poll boundaries arithmetically, so
+        # any positive interval is valid (not just powers of two).
         MachineConfig(daemon_poll_refs=0)       # disabled is fine
-        MachineConfig(daemon_poll_refs=1024)    # power of two is fine
+        MachineConfig(daemon_poll_refs=1000)    # non-power-of-two too
+        MachineConfig(daemon_poll_refs=1024)
+        with pytest.raises(ConfigurationError):
+            MachineConfig(daemon_poll_refs=-1)
 
 
 class TestDerivedConfigs:

@@ -168,3 +168,36 @@ class TestWriteHitFastPath:
         before = machine.cycles
         machine.run([(WRITE, heap)] * 10)
         assert machine.cycles - before == 10
+
+    @pytest.mark.parametrize(
+        "policy", ["FAULT", "FLUSH", "SPUR", "WRITE", "MIN"]
+    )
+    def test_settled_implies_zero_cycle_no_op_handler(self, policy):
+        # The contract the resolver's fast path relies on: once
+        # write_hit_settled says True, the slow handler must be a
+        # zero-cycle, zero-mutation no-op for that line.
+        machine, heap = policy_machine(policy)
+        machine.run([(WRITE, heap), (WRITE, heap)])
+        cache = machine.cache
+        index = cache.probe(heap)
+        settled = machine.dirty_policy.write_hit_settled(cache, index)
+        if policy == "WRITE":
+            assert not settled  # WRITE always re-checks the PTE
+            return
+        assert settled
+        vpn = heap >> machine.page_bits
+        pte = machine._pte_peek(vpn)
+        page = machine._page_peek(vpn)
+        before_cols = {
+            name: bytes(col) for name, col in cache.columns.columns()
+        }
+        before_pte = (pte.dirty, pte.referenced)
+        cost = machine.dirty_policy.handle_write_hit(
+            machine, index, heap, pte, page
+        )
+        assert cost == 0
+        assert before_pte == (pte.dirty, pte.referenced)
+        after_cols = {
+            name: bytes(col) for name, col in cache.columns.columns()
+        }
+        assert after_cols == before_cols

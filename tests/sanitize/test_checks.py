@@ -98,9 +98,12 @@ class TestLineChecks:
         )
 
     def test_truncated_parallel_array(self):
+        # The flat columns cannot be resized in place (live numpy
+        # views pin the buffers), so the length hazard is an attribute
+        # rebound to a shorter buffer.
         cache = small_cache()
         filled_line(cache)
-        cache.holds_pte.pop()
+        cache.holds_pte = cache.holds_pte[:-1]
         expect_violation(
             "cache.array-lengths", check_cache_arrays, cache
         )
@@ -117,6 +120,34 @@ class TestLineChecks:
         assert "c0" in text
         assert violation.ref_index == 41
         assert "tags" in violation.state
+
+
+class TestColumnStoreAgreement:
+    def test_rebound_alias_same_length(self):
+        # An equal-length copy passes the length check but breaks the
+        # zero-copy aliasing the batched classifier reads through.
+        cache = small_cache()
+        filled_line(cache)
+        cache.page_dirty = bytearray(cache.page_dirty)
+        expect_violation(
+            "cache.column-store-agreement", check_cache_arrays, cache
+        )
+
+    def test_rebound_word_column(self):
+        cache = small_cache()
+        filled_line(cache)
+        cache.tags = cache.tags[:]
+        expect_violation(
+            "cache.column-store-agreement", check_cache_arrays, cache
+        )
+
+    def test_non_boolean_flag_byte(self):
+        cache = small_cache()
+        index = filled_line(cache)
+        cache.block_dirty[index] = 2
+        expect_violation(
+            "cache.column-store-agreement", check_cache_arrays, cache
+        )
 
 
 class TestBusChecks:

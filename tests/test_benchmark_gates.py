@@ -48,13 +48,13 @@ class TestPerTraceGates:
                                               capsys):
         baseline = write_baseline(
             tmp_path,
-            {"hits": 2.2, "misses": 1.03, "writes": 1.04},
+            {"hits": 2.2, "misses": 3.5, "writes": 3.7},
             gates=bench.DEFAULT_GATES,
         )
         # A misses-only regression: the old fractional check
-        # (1.03 * 0.7 = 0.72 floor) would have let this through.
+        # (3.5 * 0.7 = 2.45 floor) would have let this through.
         fresh = results_with(
-            {"hits": 2.1, "misses": 0.85, "writes": 1.02}
+            {"hits": 2.1, "misses": 2.45, "writes": 3.4}
         )
         assert bench.check_regression(fresh, baseline, 0.3) == 1
         err = capsys.readouterr().err
@@ -64,11 +64,11 @@ class TestPerTraceGates:
     def test_passes_at_or_above_every_gate(self, tmp_path):
         baseline = write_baseline(
             tmp_path,
-            {"hits": 2.2, "misses": 1.03, "writes": 1.04},
+            {"hits": 2.2, "misses": 3.5, "writes": 3.7},
             gates=bench.DEFAULT_GATES,
         )
         fresh = results_with(
-            {"hits": 1.7, "misses": 0.95, "writes": 0.96}
+            {"hits": 1.7, "misses": 2.5, "writes": 2.6}
         )
         assert bench.check_regression(fresh, baseline, 0.3) == 0
 
@@ -105,3 +105,18 @@ class TestLoadGates:
         tuned = {"hits": {"min_speedup": 1.9}}
         path.write_text(json.dumps({"gates": tuned}))
         assert bench.load_gates(str(path)) == tuned
+
+
+class TestObserveOverhead:
+    def test_median_discards_outlier_runs(self):
+        # One slow observed run (the old best-of pairing would have
+        # been at the mercy of it) does not move the median.
+        chunked = [100.0, 101.0, 99.0]
+        observed = [95.0, 94.0, 20.0]
+        assert bench.observe_overhead(chunked, observed) == 0.06
+
+    def test_clamped_at_zero(self):
+        # Observed faster than chunked is measurement noise, not a
+        # negative cost; the recorded overhead floors at 0 so a later
+        # real regression cannot hide behind a negative baseline.
+        assert bench.observe_overhead([100.0], [103.0]) == 0.0
