@@ -1,0 +1,29 @@
+"""Lockstep fleet simulation: many machines per process, one pass.
+
+The paper's result tables are grids of *independent* single-machine
+simulations, which makes the campaign data-parallel inside one
+interpreter: :class:`~repro.fleet.columns.FleetColumnStore` stacks N
+caches' per-line tag state into machines x lines columns,
+:class:`~repro.fleet.lockstep.MachineFleet` steps the machines in
+lockstep chunk by chunk (one vectorized classifier pass across the
+whole fleet, per-machine resolvers only where a chunk actually has
+events), and :func:`~repro.fleet.runner.simulate_cells_fleet` maps a
+campaign's :class:`~repro.parallel.executor.RunCell` list onto fleets.
+
+The non-negotiable contract is bit-identity: a fleet run produces
+exactly the counters, cycles, cache state, and cached-result keys of
+per-machine :meth:`~repro.machine.simulator.SpurMachine.run_chunks`.
+The process pool stays for cross-host scale; ``RunOptions(fleet=True)``
+or ``repro campaign --fleet`` selects this path.
+"""
+
+from repro.fleet.columns import FleetColumnStore
+from repro.fleet.lockstep import FleetMember, MachineFleet
+from repro.fleet.runner import simulate_cells_fleet
+
+__all__ = [
+    "FleetColumnStore",
+    "FleetMember",
+    "MachineFleet",
+    "simulate_cells_fleet",
+]

@@ -1,0 +1,126 @@
+"""Stacked machines x lines tag state for lockstep fleets.
+
+A fleet steps N independent caches at once, so their per-line tag
+state must be classifiable in one vectorized pass.
+:class:`FleetColumnStore` makes that a memory-layout fact rather than
+a gather loop: every column from
+:class:`~repro.cache.columns.ColumnStore` gets one flat allocation
+covering the whole fleet, machine ``m`` owning elements
+``[m * num_lines, (m + 1) * num_lines)``.  Each member machine is
+handed an ordinary :class:`~repro.cache.columns.ColumnStore` built
+over ``memoryview`` slices of those buffers
+(:meth:`~repro.cache.columns.ColumnStore.over_buffers`), so the
+member's scalar resolvers mutate the fleet's memory directly and the
+2-D views here observe every write with no synchronisation step —
+the same aliasing contract the 1-D store makes with its own views.
+
+``numpy`` is optional, as everywhere: without it ``views`` is ``None``
+and the fleet falls back to per-member stepping against the identical
+buffers.
+"""
+
+from array import array
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI runs without numpy
+    _np = None
+
+from repro.cache.columns import ColumnStore, FLAG_COLUMNS, WORD_COLUMNS
+
+
+class FleetViews:
+    """Read-only 2-D numpy views (machines x lines) over a fleet store.
+
+    One attribute per column, each a zero-copy view reshaped over the
+    fleet's flat allocation; row ``m`` aliases machine ``m``'s member
+    store exactly.  Non-writeable, like
+    :class:`~repro.cache.columns.ColumnViews`: mutation goes through
+    the member caches only.
+    """
+
+    __slots__ = tuple(name for name, _ in WORD_COLUMNS) + FLAG_COLUMNS
+
+
+class FleetColumnStore:
+    """machines x lines tag columns with per-member store slices.
+
+    Attributes
+    ----------
+    members:
+        Tuple of per-machine :class:`~repro.cache.columns.ColumnStore`
+        instances, one per row, each aliasing this store's buffers.
+        Member stores carry ``fleet`` / ``member_row`` backrefs so the
+        sanitizer can verify the 2-D aliasing invariant.
+    views:
+        :class:`FleetViews` of 2-D numpy views, or ``None`` without
+        numpy.
+    """
+
+    def __init__(self, num_machines, num_lines):
+        if num_machines < 1:
+            raise ValueError(
+                f"fleet needs at least one machine, got {num_machines}"
+            )
+        if num_lines < 1:
+            raise ValueError(
+                f"fleet lines must be >= 1, got {num_lines}"
+            )
+        self.num_machines = num_machines
+        self.num_lines = num_lines
+        total = num_machines * num_lines
+        self.tags = array("q", bytes(8 * total))
+        self.line_vaddr = array("q", bytes(8 * total))
+        self.line_block = array("q", [-1]) * total
+        self.valid = bytearray(total)
+        self.prot = bytearray(total)
+        self.page_dirty = bytearray(total)
+        self.block_dirty = bytearray(total)
+        self.filled_by_read = bytearray(total)
+        self.holds_pte = bytearray(total)
+        self.views = self._build_views()
+        self.members = tuple(
+            self._member_store(row) for row in range(num_machines)
+        )
+
+    def _build_views(self):
+        if _np is None:
+            return None
+        shape = (self.num_machines, self.num_lines)
+        views = FleetViews()
+        for name, _ in WORD_COLUMNS:
+            view = _np.frombuffer(
+                getattr(self, name), dtype=_np.int64
+            ).reshape(shape)
+            view.flags.writeable = False
+            setattr(views, name, view)
+        for name in FLAG_COLUMNS:
+            view = _np.frombuffer(
+                getattr(self, name), dtype=_np.uint8
+            ).reshape(shape)
+            view.flags.writeable = False
+            setattr(views, name, view)
+        return views
+
+    def _member_store(self, row):
+        lo = row * self.num_lines
+        hi = lo + self.num_lines
+        buffers = {}
+        for name, _ in WORD_COLUMNS:
+            buffers[name] = memoryview(getattr(self, name))[lo:hi]
+        for name in FLAG_COLUMNS:
+            buffers[name] = memoryview(getattr(self, name))[lo:hi]
+        store = ColumnStore.over_buffers(self.num_lines, buffers)
+        store.fleet = self
+        store.member_row = row
+        return store
+
+    def columns(self):
+        """``(name, buffer)`` pairs for every flat fleet column."""
+        for name, _ in WORD_COLUMNS:
+            yield name, getattr(self, name)
+        for name in FLAG_COLUMNS:
+            yield name, getattr(self, name)
+
+
+__all__ = ["FleetColumnStore", "FleetViews"]

@@ -1,0 +1,399 @@
+"""Lockstep stepping of many independent SPUR machines.
+
+:class:`MachineFleet` advances N machines one workload chunk at a
+time.  Per round, every live member fetches its next chunk; members
+whose chunk is poll-free are grouped by length and classified in one
+2-D numpy pass against the fleet's stacked columns — a chunk whose
+every reference hits a settled line is provably event-free under
+either per-machine path, so the member just advances its deferred
+counts.  Members whose chunk contains misses, unsettled write hits, a
+poll boundary, or that cannot join a group drop to the machine's own
+segment machinery (:meth:`~repro.machine.simulator.SpurMachine.
+_run_segment`) for that chunk only, then rejoin the next round.
+
+Bit-identity with per-machine
+:meth:`~repro.machine.simulator.SpurMachine.run_chunks` rests on
+three facts:
+
+* the fleet replays ``run_chunks``'s exact poll-free segmentation
+  with a *stream-cumulative* ``processed`` count, so the daemon poll
+  schedule is the one an uninterrupted ``run_chunks`` over the whole
+  stream would produce (calling ``run_chunks`` per chunk would
+  restart the schedule each call and diverge);
+* the fleet classifier is only a conservative filter: flagged chunks
+  re-classify live inside ``_run_segment``, and machines share no
+  cache state (each owns a private bus, vm, and column row), so a
+  skip decision can never go stale across members;
+* all deferred bookkeeping (cycles, references, kind mix, counter
+  tally) commits as deltas, and counter arithmetic is modular — the
+  totals are identical no matter where the commit boundaries fall.
+  On a member failure the tally is flushed but uncommitted cycles,
+  references, and mix are dropped, exactly like ``run_chunks``'s
+  ``finally`` on an exception.
+"""
+
+from array import array
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI runs without numpy
+    _np = None
+
+from repro.machine.cpu import ReferenceMix
+from repro.machine.simulator import (
+    _KIND_WRITE_BYTES,
+    _KIND_ZERO_BYTES,
+    _RW,
+    _TALLY_SLOTS,
+    _WRITE,
+)
+
+TALLY_SLOTS = _TALLY_SLOTS
+
+
+# Module-level helpers for the lockstep hot loops.  R008 proves the
+# fleet's round loop pure by resolving every call inside it through
+# the call graph; a bare ``.append``/``.setdefault``/numpy call on a
+# local is statically unresolvable there, so the loops route container
+# pushes and per-row numpy work through these named project functions.
+
+
+def _enqueue(groups, pairs, entry):
+    """Append *entry* to the *pairs* classify group, creating it."""
+    groups.setdefault(pairs, []).append(entry)
+
+
+def _push(seq, entry):
+    """``seq.append(entry)`` behind a resolvable project name."""
+    seq.append(entry)
+
+
+def _fill_row(np_module, mat, row, chunk, width):
+    """Copy one member's chunk into classify-matrix row *row*."""
+    mat[row] = np_module.frombuffer(
+        chunk, dtype=np_module.int64
+    )[:width]
+
+
+def _event_positions(np_module, mask_row):
+    """Flagged reference positions of one member's classify row."""
+    return np_module.flatnonzero(mask_row).tolist()
+
+
+def make_tally_matrix(num_machines):
+    """The fleet's machines x counters tally allocation plus row views.
+
+    One flat ``array('q')`` covers every member's deferred-counter
+    tally; row ``m`` is handed to member ``m`` as a ``memoryview``
+    slice, so the per-machine resolvers tally straight into the shared
+    matrix.
+    """
+    flat = array("q", bytes(8 * TALLY_SLOTS * num_machines))
+    base = memoryview(flat)
+    rows = tuple(
+        base[row * TALLY_SLOTS:(row + 1) * TALLY_SLOTS]
+        for row in range(num_machines)
+    )
+    return flat, rows
+
+
+class FleetMember:
+    """One machine's stream state inside a lockstep fleet.
+
+    Holds the chunk iterator, the member's tally row, the
+    stream-cumulative reference count that drives the poll schedule,
+    and the deferred bookkeeping (:meth:`commit` lands it on the
+    machine, exact at any chunk boundary).
+    """
+
+    __slots__ = (
+        "machine", "chunks", "tally", "row", "interval", "poll",
+        "processed", "committed_refs", "poll_cycles", "extra",
+        "ifetches", "reads", "writes", "done", "failure",
+    )
+
+    def __init__(self, machine, chunks, tally, row):
+        self.machine = machine
+        self.chunks = iter(chunks)
+        self.tally = tally
+        self.row = row
+        interval = machine.config.daemon_poll_refs
+        self.interval = interval
+        self.poll = machine.vm.daemon.poll if interval else None
+        self.processed = 0
+        self.committed_refs = 0
+        self.poll_cycles = 0
+        self.extra = 0
+        self.ifetches = 0
+        self.reads = 0
+        self.writes = 0
+        self.done = False
+        self.failure = None
+
+    def next_chunk(self):
+        """The member's next non-empty chunk, or ``None`` at stream end."""
+        for chunk in self.chunks:
+            if len(chunk) >= 2:
+                return chunk
+        return None
+
+    def poll_free(self, pairs):
+        """True when the next *pairs* references cross no poll boundary."""
+        if self.poll is None:
+            return True
+        return (
+            self.interval - 1 - (self.processed % self.interval) >= pairs
+        )
+
+    def tally_kinds(self, chunk, pairs):
+        """Fold one chunk's kind mix into the deferred counts.
+
+        Same byte-pattern counts as ``run_chunks``; returns the
+        chunk's uniform-kind code (-1 mixed / 0 ifetch / 1 read) for
+        the segment loops.
+        """
+        kind_bytes = chunk[0::2].tobytes()
+        chunk_ifetches = kind_bytes.count(_KIND_ZERO_BYTES)
+        chunk_writes = kind_bytes.count(_KIND_WRITE_BYTES)
+        self.ifetches += chunk_ifetches
+        self.writes += chunk_writes
+        self.reads += pairs - chunk_ifetches - chunk_writes
+        if chunk_writes:
+            return -1
+        if chunk_ifetches == 0:
+            return 1
+        if chunk_ifetches == pairs:
+            return 0
+        return -1
+
+    def skip_settled(self, pairs):
+        """Advance past a chunk the fleet classifier proved event-free.
+
+        An all-hit, all-settled chunk produces zero extra cycles, no
+        column mutation, and no tally under either per-machine path
+        (the vectorized pass returns 0 on an empty event set; the
+        per-reference loop takes only ``continue`` branches), so only
+        the reference count moves.
+        """
+        self.processed += pairs
+
+    def walk_chunk(self, chunk, pairs, blocks, idx, is_write,
+                   positions):
+        """Resolve a fleet-flagged poll-free chunk's events.
+
+        Hands the machine's shared event walk
+        (:meth:`~repro.machine.simulator.SpurMachine._walk_events`)
+        the positions the 2-D classify already found — same resolvers,
+        same staleness handling, no second classification pass.
+        """
+        try:
+            self.extra += self.machine._walk_events(
+                chunk, 0, pairs, self.tally, blocks, idx, is_write,
+                positions,
+            )
+        except Exception as error:
+            self.fail(error)
+            return
+        self.processed += pairs
+
+    def run_chunk(self, chunk, pairs, uniform):
+        """Run one chunk through the machine's own segment machinery.
+
+        Replays the ``run_chunks`` inner loop — poll-free segments cut
+        arithmetically against the stream-cumulative ``processed``,
+        each handed to ``_run_segment`` — so flagged chunks and every
+        chunk of the no-numpy fallback stay bit-identical to the
+        per-machine path.
+        """
+        run_segment = self.machine._run_segment
+        tally = self.tally
+        interval = self.interval
+        poll = self.poll
+        start = 0
+        while start < pairs:
+            if poll is None:
+                stop = pairs
+            else:
+                stop = start + interval - 1 - (self.processed % interval)
+                if stop > pairs:
+                    stop = pairs
+            if stop > start:
+                self.extra += run_segment(chunk, start, stop, tally,
+                                          uniform)
+                self.processed += stop - start
+                start = stop
+            if start < pairs:
+                self.poll_cycles += poll()
+                self.extra += run_segment(chunk, start, start + 1,
+                                          tally, uniform)
+                self.processed += 1
+                start += 1
+
+    def commit(self):
+        """Land the deferred bookkeeping on the machine.
+
+        Mirrors ``run_chunks``'s end-of-call accounting — base cycle
+        per reference, poll and resolver cycles, one kind-mix flush,
+        one tally flush — but in deltas, so it is exact at any chunk
+        boundary (observer epochs cut here).
+        """
+        machine = self.machine
+        delta = self.processed - self.committed_refs
+        machine.cycles += self.poll_cycles + self.extra + delta
+        machine.references += delta
+        self.committed_refs = self.processed
+        self.poll_cycles = 0
+        self.extra = 0
+        if self.ifetches or self.reads or self.writes:
+            mix = ReferenceMix(
+                ifetches=self.ifetches, reads=self.reads,
+                writes=self.writes,
+            )
+            mix.flush_to_counters(machine.counters)
+            machine.reference_mix.add(mix.ifetches, mix.reads,
+                                      mix.writes)
+            self.ifetches = 0
+            self.reads = 0
+            self.writes = 0
+        tally = self.tally
+        machine._flush_tally(tally)
+        for slot in range(TALLY_SLOTS):
+            tally[slot] = 0
+
+    def finish(self):
+        """Stream exhausted: final commit, member leaves the fleet."""
+        self.commit()
+        self.done = True
+
+    def fail(self, error):
+        """A resolver raised mid-chunk.
+
+        Flush the tally (exactly ``run_chunks``'s ``finally``) but
+        drop uncommitted cycles/references/mix, then leave the fleet.
+        """
+        self.failure = error
+        self.done = True
+        self.machine._flush_tally(self.tally)
+
+
+class MachineFleet:
+    """N independent machines stepped in lockstep, chunk by chunk."""
+
+    def __init__(self, store, members, use_numpy=None):
+        members = list(members)
+        if not members:
+            raise ValueError("fleet needs at least one member")
+        geometry = members[0].machine.cache.geometry
+        for member in members:
+            if member.machine.cache.geometry != geometry:
+                raise ValueError(
+                    "fleet members must share one cache geometry"
+                )
+        self.store = store
+        self.members = members
+        self.live = list(members)
+        self._views = store.views
+        if use_numpy is None:
+            use_numpy = _np is not None and store.views is not None
+        self._use_numpy = use_numpy
+        cache = members[0].machine.cache
+        self._block_bits = cache.block_bits
+        self._index_mask = cache.index_mask
+
+    def run_round(self):
+        """Fetch and process one chunk per live member.
+
+        Poll-free chunks of equal length form vectorized classify
+        groups; everything else steps through the member's own segment
+        machinery.  Returns the members that advanced, finished, or
+        failed this round (the runner hooks observers and sanitizers
+        off this list); ``self.live`` shrinks as streams end.
+        """
+        groups = {}
+        solo = []
+        for member in self.live:
+            try:
+                chunk = member.next_chunk()
+            except Exception as error:
+                member.fail(error)
+                continue
+            if chunk is None:
+                member.finish()
+                continue
+            pairs = len(chunk) >> 1
+            uniform = member.tally_kinds(chunk, pairs)
+            if self._use_numpy and member.poll_free(pairs):
+                _enqueue(groups, pairs, (member, chunk, uniform))
+            else:
+                _push(solo, (member, chunk, pairs, uniform))
+        for pairs, group in groups.items():
+            if len(group) >= 2:
+                self._classify_group(pairs, group)
+            else:
+                member, chunk, uniform = group[0]
+                self._step_member(member, chunk, pairs, uniform)
+        for member, chunk, pairs, uniform in solo:
+            self._step_member(member, chunk, pairs, uniform)
+        stepped = self.live
+        self.live = [m for m in stepped if not m.done]
+        return stepped
+
+    def _classify_group(self, pairs, group):
+        """One 2-D classify across a same-length group of chunks.
+
+        Gathers each member's own column row (machines are
+        independent; no cross-member state exists) and flags members
+        whose chunk contains any miss or unsettled write hit.  Clean
+        members skip the chunk outright; flagged members walk exactly
+        the flagged positions through the machine's own event walk,
+        whose live staleness re-verification makes this pass a
+        conservative filter, never an oracle.
+        """
+        count = len(group)
+        width = pairs << 1
+        mat = _np.empty((count, width), dtype=_np.int64)
+        for i, (member, chunk, _uniform) in enumerate(group):
+            _fill_row(_np, mat, i, chunk, width)
+        kinds = mat[:, 0::2]
+        vaddrs = mat[:, 1::2]
+        blocks = vaddrs >> self._block_bits
+        idx = blocks & self._index_mask
+        rows = _np.array(
+            [member.row for member, _, _ in group], dtype=_np.intp
+        )
+        sel = (rows[:, None], idx)
+        views = self._views
+        miss = _np.not_equal(views.line_block[sel], blocks)
+        is_write = _np.equal(kinds, _WRITE)
+        if bool(is_write.any()):
+            event_mask = miss | (
+                is_write
+                & ~miss
+                & ~(
+                    (views.block_dirty[sel] != 0)
+                    & (views.page_dirty[sel] != 0)
+                    & (views.prot[sel] == _RW)
+                )
+            )
+        else:
+            event_mask = miss
+        flags = event_mask.any(axis=1).tolist()
+        for i, (member, chunk, _uniform) in enumerate(group):
+            if flags[i]:
+                member.walk_chunk(
+                    chunk, pairs, blocks[i], idx[i], is_write[i],
+                    _event_positions(_np, event_mask[i]),
+                )
+            else:
+                member.skip_settled(pairs)
+
+    def _step_member(self, member, chunk, pairs, uniform):
+        """Run one member's chunk, capturing per-member failures."""
+        try:
+            member.run_chunk(chunk, pairs, uniform)
+        except Exception as error:
+            member.fail(error)
+
+
+__all__ = ["FleetMember", "MachineFleet", "TALLY_SLOTS",
+           "make_tally_matrix"]

@@ -1,0 +1,167 @@
+"""Map campaign cells onto lockstep fleets.
+
+:func:`simulate_cells_fleet` is the fleet-side twin of
+:func:`repro.parallel.executor.simulate_cell`: it takes a campaign's
+cell list plus the pending indices, groups them by cache geometry
+(the 2-D classifier needs uniform row shapes), builds one
+:class:`~repro.fleet.columns.FleetColumnStore`-backed machine per
+cell, steps each group in lockstep, and delivers every cell's
+:class:`~repro.machine.runner.RunResult` (or exception) through the
+same ``record`` callback the serial and pooled paths use — so trace
+events, progress, failure reports, and cache stores are identical.
+
+Per-cell telemetry rides along unchanged: a sanitizer attaches per
+member (the fleet drives ``check_now`` — per chunk in ``full`` mode,
+at stream end otherwise), and an observer attaches passively, sampled
+at committed chunk boundaries
+(:meth:`~repro.observe.observer.RunObserver.sample_boundary`).
+
+``host_seconds`` is the one knowingly shared figure: the fleet's
+wall-clock is a joint cost, so each member reports an equal share of
+its group's wall time.  Like every host diagnostic it is excluded
+from result equality.
+"""
+
+import time
+
+from repro.fleet.columns import FleetColumnStore
+from repro.fleet.lockstep import FleetMember, MachineFleet, make_tally_matrix
+from repro.machine.runner import RunResult, _take_chunks
+from repro.machine.simulator import SpurMachine
+from repro.workloads.base import DEFAULT_CHUNK_REFS
+
+
+class _FleetCell:
+    """One campaign cell's member machine plus its telemetry."""
+
+    __slots__ = ("index", "cell", "member", "instance", "observer",
+                 "sanitizer")
+
+    def __init__(self, index, cell, member, instance, observer,
+                 sanitizer):
+        self.index = index
+        self.cell = cell
+        self.member = member
+        self.instance = instance
+        self.observer = observer
+        self.sanitizer = sanitizer
+
+
+def simulate_cells_fleet(cells, indices, record):
+    """Simulate the pending cells of a campaign in lockstep fleets.
+
+    ``cells`` is the full campaign cell list, ``indices`` the pending
+    subset; ``record(index, outcome)`` receives each cell's result or
+    exception exactly once, in fleet completion order (callers already
+    tolerate the pool's arbitrary order).
+    """
+    groups = {}
+    for index in indices:
+        groups.setdefault(cells[index].config.cache, []).append(index)
+    for geometry, group in groups.items():
+        _run_fleet_group(cells, group, geometry, record)
+
+
+def _build_fleet_cell(index, cell, store, tally, row):
+    """Instantiate one cell's workload, machine, and telemetry."""
+    instance = cell.workload.instantiate(
+        cell.config.page_bytes, seed=cell.seed
+    )
+    machine = SpurMachine(
+        cell.config, instance.space_map,
+        column_store=store.members[row],
+    )
+    sanitizer = None
+    if cell.sanitize:
+        from repro.sanitize.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer(mode=cell.sanitize)
+        sanitizer.attach(machine)
+    observer = None
+    if cell.observe:
+        from repro.observe.observer import RunObserver
+
+        observer = RunObserver(
+            epoch_refs=cell.epoch_refs, label=cell.label
+        )
+        observer.attach_passive(machine)
+    # chunk_refs=0 selects the legacy tuple stream elsewhere; the
+    # fleet always steps chunks (bit-identical by the run/run_chunks
+    # contract), so it substitutes the default chunking.
+    chunks = instance.access_chunks(cell.chunk_refs or DEFAULT_CHUNK_REFS)
+    if cell.max_references is not None:
+        chunks = _take_chunks(chunks, cell.max_references)
+    member = FleetMember(machine, chunks, tally, row)
+    return _FleetCell(index, cell, member, instance, observer,
+                      sanitizer)
+
+
+def _run_fleet_group(cells, indices, geometry, record):
+    """Run one geometry-uniform group of cells as a lockstep fleet."""
+    store = FleetColumnStore(len(indices), geometry.num_lines)
+    _tallies, tally_rows = make_tally_matrix(len(indices))
+    fleet_cells = []
+    for row, index in enumerate(indices):
+        try:
+            fleet_cells.append(_build_fleet_cell(
+                index, cells[index], store, tally_rows[row], row
+            ))
+        except Exception as error:
+            record(index, error)
+    if not fleet_cells:
+        return
+    by_member = {id(fc.member): fc for fc in fleet_cells}
+    fleet = MachineFleet(store, [fc.member for fc in fleet_cells])
+    started = time.perf_counter()
+    while fleet.live:
+        for member in fleet.run_round():
+            fc = by_member[id(member)]
+            if member.done:
+                continue
+            if fc.observer is not None:
+                member.commit()
+                fc.observer.sample_boundary()
+            if fc.sanitizer is not None and fc.sanitizer.mode == "full":
+                fc.sanitizer.check_now()
+    share = (time.perf_counter() - started) / len(fleet_cells)
+    for fc in fleet_cells:
+        record(fc.index, _assemble(fc, share))
+
+
+def _assemble(fc, host_share):
+    """Build one member's RunResult, mirroring ExperimentRunner.run."""
+    member = fc.member
+    if member.failure is not None:
+        return member.failure
+    machine = member.machine
+    try:
+        if fc.sanitizer is not None:
+            fc.sanitizer.check_now()
+        observation = None
+        if fc.observer is not None:
+            observation = fc.observer.finish()
+        swap_stats = machine.swap.stats
+        return RunResult(
+            workload=fc.instance.name,
+            config_name=fc.cell.config.name,
+            memory_bytes=fc.cell.config.memory_bytes,
+            dirty_policy=machine.dirty_policy.name,
+            reference_policy=machine.reference_policy.name,
+            seed=fc.cell.seed,
+            references=machine.references,
+            cycles=machine.cycles,
+            events=machine.counters.snapshot().as_dict(),
+            page_ins=swap_stats.page_ins,
+            page_outs=swap_stats.page_outs,
+            zero_fills=swap_stats.zero_fills,
+            potentially_modified=swap_stats.potentially_modified,
+            not_modified=swap_stats.not_modified,
+            host_seconds=host_share,
+            scalar_bailouts=machine.scalar_bailouts,
+            observation=observation,
+        )
+    except Exception as error:
+        return error
+
+
+__all__ = ["simulate_cells_fleet"]

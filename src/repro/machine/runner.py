@@ -57,6 +57,11 @@ class RunResult:
     potentially_modified: int
     not_modified: int
     host_seconds: float = field(default=0.0, compare=False)
+    #: Times the vectorized classifier fell back to the per-reference
+    #: loop mid-segment (see ``SpurMachine.scalar_bailouts``).  A host
+    #: diagnostic like ``host_seconds``: excluded from equality and
+    #: cache serialisation, so cached results read back 0.
+    scalar_bailouts: int = field(default=0, compare=False)
     observation: Optional[RunObservation] = field(
         default=None, compare=False, repr=False
     )
@@ -244,6 +249,7 @@ class ExperimentRunner:
             potentially_modified=swap_stats.potentially_modified,
             not_modified=swap_stats.not_modified,
             host_seconds=host_seconds,
+            scalar_bailouts=machine.scalar_bailouts,
             observation=observation,
         )
         if options.trace_sink is not None:
@@ -282,6 +288,7 @@ class ExperimentRunner:
         plain_serial = (
             options.workers <= 1 and cache is None
             and options.trace_sink is None and not options.progress
+            and not options.fleet
         )
         if plain_serial:
             return [
@@ -307,6 +314,7 @@ class ExperimentRunner:
         return execute_cells(
             cells, workers=options.workers, cache=cache,
             sink=options.trace_sink, progress=options.progress,
+            fleet=options.fleet,
         )
 
     def run_repetitions(self, config, workload, repetitions=5,

@@ -80,7 +80,12 @@ _T_READ_MISS = TALLY_CACHE_SLOTS + 5
 _T_WRITE_MISS = TALLY_CACHE_SLOTS + 6
 _T_WRITE_HIT_CLEAN = TALLY_CACHE_SLOTS + 7
 _T_WRITE_READ_FILLED = TALLY_CACHE_SLOTS + 8
-_TALLY_SLOTS = TALLY_CACHE_SLOTS + 9
+# Diagnostic (not a counter event): times the vectorized classifier
+# abandoned a stale classification snapshot and finished the segment
+# in the per-reference loop.  Folded into ``scalar_bailouts`` at flush
+# so conflict-heavy traces are diagnosable instead of silently slow.
+_T_SCALAR_BAILOUT = TALLY_CACHE_SLOTS + 9
+_TALLY_SLOTS = TALLY_CACHE_SLOTS + 10
 _TALLY_ZEROS = (0,) * _TALLY_SLOTS
 
 _TALLY_EVENTS = (
@@ -139,10 +144,15 @@ class SpurMachine:
     bus:
         Optional shared :class:`SnoopyBus` for multiprocessor setups;
         a private bus is created when omitted.
+    column_store:
+        Optional pre-built :class:`~repro.cache.columns.ColumnStore`
+        the cache adopts — how a fleet member's tag state lands inside
+        the fleet's stacked 2-D buffers.
     """
 
     def __init__(self, config, space_map, counters=None, bus=None,
-                 name=None, page_table=None, vm=None, swap=None):
+                 name=None, page_table=None, vm=None, swap=None,
+                 column_store=None):
         self.config = config
         self.name = name or config.name
         self.counters = counters or PerformanceCounters()
@@ -152,7 +162,8 @@ class SpurMachine:
         self.zero_fill_cycles = config.zero_fill_cycles
 
         self.cache = VirtualCache(
-            config.cache, config.memory_timing, name=f"{self.name}.cache"
+            config.cache, config.memory_timing,
+            name=f"{self.name}.cache", columns=column_store,
         )
         self.cache.counters = self.counters
         self.bus = bus or SnoopyBus(name=f"{self.name}.bus",
@@ -202,6 +213,12 @@ class SpurMachine:
 
         self.cycles = 0
         self.references = 0
+        #: Times the vectorized classifier abandoned a stale
+        #: classification snapshot (diagnostic; see
+        #: ``_run_segment_columns``).  Not a counter event — both hot
+        #: paths stay bit-identical — but surfaced on RunResult and in
+        #: trace records so conflict-heavy traces are diagnosable.
+        self.scalar_bailouts = 0
         self.reference_mix = ReferenceMix()
         #: Set by SmpSystem when this processor joins a shared-memory
         #: system; page flushes then cover every cache in the domain.
@@ -536,12 +553,32 @@ class SpurMachine:
             events = _np.flatnonzero(miss)
         if not events.size:
             return 0
-        positions = events.tolist()
+        return self._walk_events(
+            chunk, start, end, tally, blocks, idx, is_write,
+            events.tolist(),
+        )
 
+    def _walk_events(self, chunk, start, end, tally, blocks, idx,
+                     is_write, positions):
+        """Resolve the flagged positions of a classified segment.
+
+        The resolution half of :meth:`_run_segment_columns`, split out
+        so the lockstep fleet (:mod:`repro.fleet`) can hand a member
+        the event positions its 2-D classify already found instead of
+        re-classifying the chunk.  ``blocks``/``idx``/``is_write`` are
+        the classify pass's per-position arrays (1-D, covering
+        ``[start, end)``); staleness handling is unchanged —
+        :meth:`_first_stale` re-verifies skipped gaps against the live
+        views once anything mutates.  Returns extra cycles beyond the
+        base charge.
+        """
+        cache = self.cache
         line_block = cache.line_block
         block_dirty = cache.block_dirty
         page_dirty = cache.page_dirty
         prot = cache.prot
+        block_bits = cache.block_bits
+        index_mask = cache.index_mask
         write_hit = self._resolve_write_hit
         resolve = self._resolve_miss
         run_refs = self._run_refs
@@ -554,6 +591,7 @@ class SpurMachine:
             if mutated and p > prev:
                 stale = first_stale(blocks, idx, is_write, prev, p)
                 if stale >= 0:
+                    tally[_T_SCALAR_BAILOUT] += 1
                     return extra + run_refs(
                         chunk, start + stale, end, tally, -1
                     )
@@ -579,6 +617,7 @@ class SpurMachine:
         if mutated and prev < end - start:
             stale = first_stale(blocks, idx, is_write, prev, end - start)
             if stale >= 0:
+                tally[_T_SCALAR_BAILOUT] += 1
                 return extra + run_refs(
                     chunk, start + stale, end, tally, -1
                 )
@@ -816,6 +855,9 @@ class SpurMachine:
         write_misses = tally[_T_WRITE_MISS]
         if write_misses:
             increment(Event.WRITE_MISS_FILL, write_misses)
+        bailouts = tally[_T_SCALAR_BAILOUT]
+        if bailouts:
+            self.scalar_bailouts += bailouts
         for slot, event in _TALLY_EVENTS:
             count = tally[slot]
             if count:

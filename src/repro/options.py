@@ -38,6 +38,14 @@ class RunOptions:
     workers:
         Worker-process count for multi-cell entry points; 1 runs
         in-process.
+    fleet:
+        Step all pending cells of a multi-cell entry point in lockstep
+        inside this process (:mod:`repro.fleet`): the vectorized
+        classifier runs across every machine at once instead of one
+        process per cell.  Bit-identical to the serial and pooled
+        paths; keep the process pool (``workers``) for cross-host
+        scale.  When both are set the fleet wins and no pool is
+        spawned.
     chunk_refs:
         References per flat workload chunk (0 selects the legacy
         per-tuple stream).  Bit-identical either way.
@@ -70,6 +78,7 @@ class RunOptions:
     """
 
     workers: int = 1
+    fleet: bool = False
     chunk_refs: int = DEFAULT_CHUNK_REFS
     cache_dir: Optional[str] = None
     use_cache: bool = True

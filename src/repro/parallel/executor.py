@@ -143,7 +143,7 @@ def _failure(index, cell, error):
 
 
 def execute_cells(cells, workers=1, cache=None, sink=None,
-                  progress=None):
+                  progress=None, fleet=False):
     """Execute *cells*, returning results in the given cell order.
 
     Parameters
@@ -152,6 +152,12 @@ def execute_cells(cells, workers=1, cache=None, sink=None,
         Iterable of :class:`RunCell`.
     workers:
         Process count; 1 simulates in-process (no pool is created).
+    fleet:
+        Step every pending cell in lockstep inside this process
+        (:func:`repro.fleet.runner.simulate_cells_fleet`) instead of
+        fanning out — bit-identical results, one vectorized pass
+        across all machines.  When set, ``workers`` is ignored and no
+        pool is spawned.
     cache:
         Optional :class:`ResultCache`.  Hits skip simulation entirely;
         misses are simulated then stored.  Cells whose inputs cannot
@@ -201,6 +207,7 @@ def execute_cells(cells, workers=1, cache=None, sink=None,
             "cells": len(cells),
             "cached": len(hits),
             "workers": workers,
+            "fleet": bool(fleet),
         }))
     for index in hits:
         emit_cell(sink, "cell_cached", index, cells[index])
@@ -225,7 +232,11 @@ def execute_cells(cells, workers=1, cache=None, sink=None,
             if progress is not None:
                 progress.cell_finished()
 
-    if workers <= 1 or len(pending) <= 1:
+    if fleet and pending:
+        from repro.fleet.runner import simulate_cells_fleet
+
+        simulate_cells_fleet(cells, pending, record)
+    elif workers <= 1 or len(pending) <= 1:
         for index in pending:
             try:
                 outcome = simulate_cell(cells[index])

@@ -1,0 +1,485 @@
+"""Lockstep fleet simulation: bit-identity, fallbacks, and plumbing.
+
+The fleet's non-negotiable contract (docs/performance.md): for any
+cell set, ``RunOptions(fleet=True)`` returns results bit-identical to
+the per-machine ``run_chunks`` path — same counters, cycles, cache
+state, and cached-result keys — across the full dirty x reference
+policy grid, every fleet size, poll schedules, trimmed streams, and
+the pure-Python fallback.  The classifier may only *skip* work it can
+prove event-free; everything else must land in the machine's own
+resolvers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import CacheGeometry, MemoryTiming
+from repro.cache.cache import VirtualCache
+from repro.analysis.sweeps import (
+    SweepDriver,
+    associativity_axis,
+    cache_size_axis,
+)
+from repro.fleet import (
+    FleetColumnStore,
+    FleetMember,
+    MachineFleet,
+)
+from repro.fleet.lockstep import TALLY_SLOTS, make_tally_matrix
+from repro.machine.config import scaled_config
+from repro.machine.runner import ExperimentRunner
+from repro.machine.simulator import SpurMachine
+from repro.observe.report import render_report, summarize_trace
+from repro.observe.sinks import MemorySink, emit_run
+from repro.options import RunOptions
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import (
+    CampaignError,
+    RunCell,
+    execute_cells,
+)
+from repro.policies.costs import DIRTY_POLICY_NAMES
+from repro.policies.reference import REFERENCE_POLICY_NAMES
+from repro.sanitize import InvariantViolation, check_column_store
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+TINY = 0.01
+MAX_REFS = 4000
+
+
+def tiny_config(**overrides):
+    return scaled_config(memory_ratio=40, **overrides)
+
+
+def policy_grid_specs(max_refs=MAX_REFS, poll=777):
+    """5 dirty x 3 reference policies, staggered stream trims."""
+    specs = []
+    for i, dirty in enumerate(DIRTY_POLICY_NAMES):
+        for j, ref in enumerate(REFERENCE_POLICY_NAMES):
+            config = tiny_config(
+                dirty_policy=dirty, reference_policy=ref,
+                daemon_poll_refs=poll,
+                name=f"{dirty}-{ref}",
+            )
+            specs.append((
+                config, Workload1(length_scale=TINY), 11,
+                max_refs + 13 * (3 * i + j),
+            ))
+    return specs
+
+
+def assert_results_identical(serial, fleet):
+    assert len(serial) == len(fleet)
+    for a, b in zip(serial, fleet):
+        assert a.references == b.references
+        assert a.cycles == b.cycles
+        assert a.events == b.events
+        assert a.page_ins == b.page_ins
+        assert a.page_outs == b.page_outs
+        # The dataclass as a whole (host_seconds, scalar_bailouts,
+        # and observation are excluded from equality by design).
+        assert a == b
+
+
+# -- end-to-end bit-identity -------------------------------------------
+
+
+class TestFleetBitEquivalence:
+    def test_policy_grid_with_poll_schedule(self):
+        specs = policy_grid_specs()
+        runner = ExperimentRunner()
+        serial = runner.run_many(specs, options=RunOptions())
+        fleet = runner.run_many(specs, options=RunOptions(fleet=True))
+        assert_results_identical(serial, fleet)
+
+    @pytest.mark.parametrize("size", [1, 7, 64])
+    def test_fleet_sizes(self, size):
+        refs = 1500 if size == 64 else MAX_REFS
+        specs = [
+            (tiny_config(), Workload1(length_scale=TINY), seed, refs)
+            for seed in range(size)
+        ]
+        runner = ExperimentRunner()
+        serial = runner.run_many(specs, options=RunOptions())
+        fleet = runner.run_many(specs, options=RunOptions(fleet=True))
+        assert_results_identical(serial, fleet)
+
+    def test_mixed_workloads_and_geometries(self):
+        """SLC + WORKLOAD1 at two geometries: groups split correctly."""
+        specs = []
+        for scale in (8, 16):
+            for workload in (SlcWorkload(length_scale=TINY),
+                             Workload1(length_scale=TINY)):
+                specs.append((
+                    scaled_config(memory_ratio=40, scale=scale),
+                    workload, 3, MAX_REFS,
+                ))
+        runner = ExperimentRunner()
+        serial = runner.run_many(specs, options=RunOptions())
+        fleet = runner.run_many(specs, options=RunOptions(fleet=True))
+        assert_results_identical(serial, fleet)
+
+    def test_poll_disabled(self):
+        specs = [
+            (tiny_config(daemon_poll_refs=0),
+             Workload1(length_scale=TINY), seed, MAX_REFS)
+            for seed in range(3)
+        ]
+        runner = ExperimentRunner()
+        serial = runner.run_many(specs, options=RunOptions())
+        fleet = runner.run_many(specs, options=RunOptions(fleet=True))
+        assert_results_identical(serial, fleet)
+
+
+# -- pure-Python fallback ----------------------------------------------
+
+
+def build_fleet(configs, seeds, use_numpy=None, max_refs=MAX_REFS):
+    """A hand-built fleet plus matching solo reference machines."""
+    geometry = configs[0].cache
+    store = FleetColumnStore(len(configs), geometry.num_lines)
+    _flat, rows = make_tally_matrix(len(configs))
+    members = []
+    references = []
+    for row, (config, seed) in enumerate(zip(configs, seeds)):
+        instance = Workload1(length_scale=TINY).instantiate(
+            config.page_bytes, seed=seed
+        )
+        machine = SpurMachine(config, instance.space_map,
+                              column_store=store.members[row])
+        chunks = _trim(instance.access_chunks(1024), max_refs)
+        members.append(FleetMember(machine, chunks, rows[row], row))
+
+        solo_instance = Workload1(length_scale=TINY).instantiate(
+            config.page_bytes, seed=seed
+        )
+        solo = SpurMachine(config, solo_instance.space_map)
+        solo.run_chunks(_trim(
+            solo_instance.access_chunks(1024), max_refs
+        ))
+        references.append(solo)
+    fleet = MachineFleet(store, members, use_numpy=use_numpy)
+    return fleet, references
+
+
+def _trim(chunks, max_refs):
+    taken = 0
+    for chunk in chunks:
+        pairs = len(chunk) // 2
+        if taken + pairs >= max_refs:
+            yield chunk[:2 * (max_refs - taken)]
+            return
+        taken += pairs
+        yield chunk
+
+
+def assert_machines_identical(fleet_machine, solo):
+    assert fleet_machine.references == solo.references
+    assert fleet_machine.cycles == solo.cycles
+    assert (fleet_machine.counters.snapshot().as_dict()
+            == solo.counters.snapshot().as_dict())
+    for name, column in fleet_machine.cache.columns.columns():
+        assert list(column) == list(
+            getattr(solo.cache.columns, name)
+        ), f"column {name!r} diverged"
+    assert fleet_machine.cache.state == solo.cache.state
+
+
+class TestFleetFallback:
+    @pytest.mark.parametrize("use_numpy", [None, False])
+    def test_lockstep_matches_run_chunks(self, use_numpy):
+        configs = [tiny_config(daemon_poll_refs=777)] * 3
+        fleet, solos = build_fleet(configs, seeds=[1, 2, 3],
+                                   use_numpy=use_numpy)
+        while fleet.live:
+            fleet.run_round()
+        for member, solo in zip(fleet.members, solos):
+            assert member.done and member.failure is None
+            assert_machines_identical(member.machine, solo)
+
+    def test_no_numpy_modules(self, monkeypatch):
+        """The whole fleet path works with numpy absent."""
+        import repro.fleet.columns as fleet_columns
+        import repro.fleet.lockstep as fleet_lockstep
+
+        monkeypatch.setattr(fleet_columns, "_np", None)
+        monkeypatch.setattr(fleet_lockstep, "_np", None)
+        store = FleetColumnStore(2, 16)
+        assert store.views is None
+        specs = policy_grid_specs(max_refs=1500)[:4]
+        runner = ExperimentRunner()
+        serial = runner.run_many(specs, options=RunOptions())
+        fleet = runner.run_many(specs, options=RunOptions(fleet=True))
+        assert_results_identical(serial, fleet)
+
+
+# -- the stacked column store ------------------------------------------
+
+
+class TestFleetColumnStore:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetColumnStore(0, 16)
+        with pytest.raises(ValueError):
+            FleetColumnStore(4, 0)
+
+    def test_member_stores_alias_flat_buffers(self):
+        store = FleetColumnStore(3, 8)
+        member = store.members[1]
+        member.valid[2] = 1
+        member.tags[2] = 77
+        member.line_block[0] = 5
+        lo = 1 * 8
+        assert store.valid[lo + 2] == 1
+        assert store.tags[lo + 2] == 77
+        assert store.line_block[lo] == 5
+        if store.views is not None:
+            assert store.views.valid[1][2] == 1
+            assert store.views.tags[1][2] == 77
+            assert store.views.line_block[1][0] == 5
+        # Power-on state everywhere else.
+        assert store.members[0].line_block[0] == -1
+
+    def test_member_row_backrefs(self):
+        store = FleetColumnStore(2, 8)
+        for row, member in enumerate(store.members):
+            assert member.fleet is store
+            assert member.member_row == row
+            assert member.num_lines == 8
+
+    def test_tally_matrix_rows(self):
+        flat, rows = make_tally_matrix(3)
+        assert len(flat) == 3 * TALLY_SLOTS
+        rows[1][0] = 9
+        assert flat[TALLY_SLOTS] == 9
+        assert flat[0] == 0
+
+
+# -- sweep-grid axes (plumbing + validation) ---------------------------
+
+
+class TestSweepAxes:
+    def test_cache_size_axis(self):
+        config = tiny_config()
+        bigger = cache_size_axis(config, config.cache.size_bytes * 2)
+        assert bigger.cache.size_bytes == config.cache.size_bytes * 2
+        assert bigger.cache.block_bytes == config.cache.block_bytes
+        with pytest.raises(ConfigurationError):
+            cache_size_axis(config, 12345)  # not a power of two
+
+    def test_associativity_axis(self):
+        config = tiny_config()
+        ways4 = associativity_axis(config, 4)
+        assert ways4.cache.associativity == 4
+        assert ways4.cache.num_sets == ways4.cache.num_lines // 4
+        with pytest.raises(ConfigurationError):
+            associativity_axis(config, 3)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            associativity_axis(
+                config, config.cache.num_lines * 2
+            )  # more ways than blocks
+
+    def test_virtual_cache_refuses_set_associative(self):
+        geometry = CacheGeometry(
+            size_bytes=16 * 1024, block_bytes=32, associativity=2
+        )
+        with pytest.raises(ConfigurationError):
+            VirtualCache(geometry, MemoryTiming())
+
+    def test_sweep_driver_accepts_axis_callables(self):
+        driver = SweepDriver(
+            tiny_config(), cache_size_axis, [8 * 1024, 16 * 1024],
+            lambda: Workload1(length_scale=TINY),
+        )
+        assert driver.field_name == "cache_size_axis"
+        driver = SweepDriver(
+            tiny_config(), associativity_axis, [1, 2, 4],
+            lambda: Workload1(length_scale=TINY),
+        )
+        assert driver.field_name == "associativity_axis"
+
+
+# -- campaign integration ----------------------------------------------
+
+
+def make_cells(count=4, **overrides):
+    return [
+        RunCell(config=tiny_config(daemon_poll_refs=777),
+                workload=Workload1(length_scale=TINY),
+                seed=seed, max_references=2000,
+                label=f"cell{seed}", **overrides)
+        for seed in range(count)
+    ]
+
+
+class TestFleetCampaign:
+    def test_fleet_wins_over_workers(self):
+        cells = make_cells()
+        serial = execute_cells(cells)
+        fleet = execute_cells(cells, workers=4, fleet=True)
+        assert serial == fleet
+
+    def test_campaign_started_event_flags_fleet(self):
+        sink = MemorySink()
+        execute_cells(make_cells(2), sink=sink, fleet=True)
+        started = sink.of_type("campaign_started")
+        assert len(started) == 1
+        assert started[0]["fleet"] is True
+
+    def test_failing_cell_degrades_gracefully(self):
+        cells = make_cells(3)
+        cells.insert(1, dataclasses.replace(
+            cells[0],
+            workload=_ExplodingWorkload(),
+            label="doomed",
+            chunk_refs=256,  # several rounds before the stream tears
+        ))
+        with pytest.raises(CampaignError) as excinfo:
+            execute_cells(cells, fleet=True)
+        error = excinfo.value
+        assert len(error.failures) == 1
+        assert error.failures[0].label == "doomed"
+        assert error.results[1] is None
+        good = [r for i, r in enumerate(error.results) if i != 1]
+        assert all(r is not None for r in good)
+        # The surviving cells match a clean serial campaign.
+        clean = execute_cells(make_cells(3))
+        assert good == clean
+
+    def test_result_cache_round_trip(self, tmp_path):
+        cells = make_cells()
+        cache = ResultCache(tmp_path)
+        sink = MemorySink()
+        first = execute_cells(cells, cache=cache, fleet=True)
+        second = execute_cells(cells, cache=cache, fleet=True,
+                               sink=sink)
+        assert first == second
+        assert len(sink.of_type("cell_cached")) == len(cells)
+        # And cache entries written by the fleet satisfy a pooled
+        # campaign byte-for-byte.
+        pooled = execute_cells(cells, cache=cache, workers=2)
+        assert pooled == first
+
+    def test_run_options_fleet_default(self):
+        assert RunOptions().fleet is False
+        assert RunOptions(fleet=True).replace(workers=4).fleet is True
+
+
+class _ExplodingWorkload:
+    """Workload whose stream raises mid-run inside the fleet."""
+
+    def instantiate(self, page_bytes, seed=0):
+        good = Workload1(length_scale=TINY).instantiate(
+            page_bytes, seed=seed
+        )
+        return _ExplodingInstance(good)
+
+
+class _ExplodingInstance:
+    def __init__(self, inner):
+        self.inner = inner
+        self.space_map = inner.space_map
+        self.name = "exploding"
+
+    def access_chunks(self, chunk_refs):
+        for i, chunk in enumerate(
+            self.inner.access_chunks(chunk_refs)
+        ):
+            if i == 1:
+                raise RuntimeError("stream torn mid-run")
+            yield chunk
+
+    def accesses(self):
+        return self.inner.accesses()
+
+
+# -- telemetry under the fleet -----------------------------------------
+
+
+class TestFleetTelemetry:
+    def test_observer_parity(self):
+        specs = policy_grid_specs(max_refs=2500)[:3]
+        runner = ExperimentRunner()
+        serial = runner.run_many(
+            specs, options=RunOptions(observe=True, epoch_refs=800),
+        )
+        fleet = runner.run_many(
+            specs,
+            options=RunOptions(fleet=True, observe=True,
+                               epoch_refs=800),
+        )
+        assert_results_identical(serial, fleet)
+        for result in fleet:
+            observation = result.observation
+            assert observation is not None
+            assert len(observation.samples) >= 2
+            final = observation.samples[-1]
+            assert final.references == result.references
+            assert final.cycles == result.cycles
+
+    @pytest.mark.parametrize("mode", ["full", "sampled"])
+    def test_sanitized_fleet_matches_serial(self, mode):
+        specs = policy_grid_specs(max_refs=1500)[:3]
+        runner = ExperimentRunner()
+        serial = runner.run_many(specs, options=RunOptions())
+        fleet = runner.run_many(
+            specs, options=RunOptions(fleet=True, sanitize=mode),
+        )
+        assert_results_identical(serial, fleet)
+
+    def test_scalar_bailouts_surface_in_trace_and_report(self):
+        runner = ExperimentRunner()
+        result = runner.run(
+            tiny_config(), Workload1(length_scale=TINY),
+            max_references=1000,
+        )
+        stamped = dataclasses.replace(result, scalar_bailouts=3)
+        sink = MemorySink()
+        emit_run(sink, stamped)
+        finished = sink.of_type("run_finished")
+        assert finished[0]["scalar_bailouts"] == 3
+        summary = summarize_trace(sink.events)
+        assert summary.scalar_bailouts == 3
+        assert summary.to_json_dict()["scalar_bailouts"] == 3
+        assert "chunk.scalar-bailout" in render_report(summary)
+
+
+# -- the 2-D sanitizer invariant ---------------------------------------
+
+
+class TestFleetSanitizer:
+    def _fleet_machine(self):
+        config = tiny_config()
+        store = FleetColumnStore(2, config.cache.num_lines)
+        instance = Workload1(length_scale=TINY).instantiate(
+            config.page_bytes, seed=1
+        )
+        machine = SpurMachine(config, instance.space_map,
+                              column_store=store.members[0])
+        machine.run_chunks(_trim(instance.access_chunks(1024), 1000))
+        return machine
+
+    def test_fleet_backed_machine_passes(self):
+        machine = self._fleet_machine()
+        check_column_store(machine.cache)  # no raise
+
+    def test_desynced_member_row_raises(self):
+        machine = self._fleet_machine()
+        columns = machine.cache.columns
+        # Simulate an accidental rebinding that detaches the member
+        # store from the fleet's stacked buffer: both cache alias and
+        # column point at a private copy, so only the fleet row check
+        # can see the desync.
+        from array import array
+
+        private = array("q", columns.tags)
+        private[0] += 1
+        columns.tags = private
+        machine.cache.tags = private
+        columns.views = None
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_column_store(machine.cache)
+        assert "fleet" in str(excinfo.value)

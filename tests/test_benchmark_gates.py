@@ -104,7 +104,15 @@ class TestLoadGates:
         path = tmp_path / "baseline.json"
         tuned = {"hits": {"min_speedup": 1.9}}
         path.write_text(json.dumps({"gates": tuned}))
-        assert bench.load_gates(str(path)) == tuned
+        gates = bench.load_gates(str(path))
+        # The tuned threshold wins over the default...
+        assert gates["hits"] == tuned["hits"]
+        # ...while shapes the baseline predates (a freshly added
+        # trace) pick up their DEFAULT_GATES entry instead of
+        # silently going ungated.
+        for shape, gate in bench.DEFAULT_GATES.items():
+            if shape != "hits":
+                assert gates[shape] == gate
 
 
 class TestObserveOverhead:
