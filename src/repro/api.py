@@ -28,6 +28,8 @@ Groups, in import order below:
   (:mod:`repro.observe`),
 * the unified execution-options object (:mod:`repro.options`),
 * campaign execution and result caching (:mod:`repro.parallel`),
+* the resumable campaign service — journal, drivers, streaming
+  status (:mod:`repro.campaignd`),
 * policy models and overhead analysis (:mod:`repro.policies`),
 * workloads (:mod:`repro.workloads`),
 * experiment drivers and sweeps (:mod:`repro.analysis`).
@@ -72,6 +74,20 @@ from repro.parallel import (
     RunCell,
     execute_cells,
 )
+from repro.campaignd import (
+    CampaignJournal,
+    CampaignService,
+    LocalDriver,
+    RetryPolicy,
+    StatusServer,
+    SubprocessDriver,
+    WorkQueue,
+    cell_key,
+    cell_to_spec,
+    read_journal,
+    spec_to_cell,
+    stream_events,
+)
 from repro.policies import (
     EventCounts,
     ExcessFaultModel,
@@ -104,7 +120,9 @@ __all__ = [
     "Access",
     "AccessKind",
     "CampaignError",
+    "CampaignJournal",
     "CampaignProgress",
+    "CampaignService",
     "CellFailure",
     "DEFAULT_EPOCH_REFS",
     "DEV_SYSTEM_PROFILES",
@@ -116,6 +134,7 @@ __all__ = [
     "ExcessFaultModel",
     "ExperimentRunner",
     "JsonlSink",
+    "LocalDriver",
     "MachineConfig",
     "MemorySink",
     "NullSink",
@@ -124,6 +143,7 @@ __all__ = [
     "RecordedWorkload",
     "ReproError",
     "ResultCache",
+    "RetryPolicy",
     "RunCell",
     "RunObservation",
     "RunObserver",
@@ -133,11 +153,16 @@ __all__ = [
     "SlcWorkload",
     "SmpSystem",
     "SpurMachine",
+    "StatusServer",
+    "SubprocessDriver",
     "SweepDriver",
     "Table",
     "TimeParameters",
+    "WorkQueue",
     "Workload1",
     "build_table_3_4",
+    "cell_key",
+    "cell_to_spec",
     "execute_cells",
     "make_dirty_policy",
     "make_reference_policy",
@@ -145,6 +170,7 @@ __all__ = [
     "overhead",
     "overhead_table",
     "paper_config",
+    "read_journal",
     "read_trace",
     "record_workload",
     "render_report",
@@ -152,6 +178,8 @@ __all__ = [
     "run_table_3_5",
     "run_table_4_1",
     "scaled_config",
+    "spec_to_cell",
+    "stream_events",
     "summarize_trace",
     "workload_by_name",
 ]

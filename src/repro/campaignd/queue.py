@@ -1,0 +1,104 @@
+"""The resumable work queue: which cells still need simulating.
+
+:class:`WorkQueue` folds three sources of done-ness into one plan:
+
+1. the :class:`~repro.parallel.cache.ResultCache` — authoritative,
+   content-addressed, shared between hosts;
+2. the campaign journal's embedded result payloads — what survives
+   when there is no cache directory (or the cache was cleared);
+3. neither — the cell is pending and goes to a driver.
+
+Identity is the content-addressed cell key from
+:func:`repro.campaignd.cells.cell_key`: the same hash the cache files
+are named by.  That makes resume robust against grid edits — adding,
+removing, or reordering cells changes *which* keys the campaign wants,
+never what a completed key means — and it is why restarting a
+half-done campaign recomputes nothing: every completed cell's key
+resolves before any driver is consulted.
+
+Cells whose inputs cannot be canonically hashed (``cell_key`` returns
+``None``) are always pending; with no stable identity there is nothing
+safe to resume.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.campaignd.cells import cell_key
+from repro.parallel.cache import result_from_payload
+
+
+@dataclass
+class QueuePlan:
+    """The resolved state of a campaign's cells before driving.
+
+    ``results`` has one slot per cell, pre-filled where a cell
+    resolved from the cache (``cached`` indices) or from journal
+    payloads (``resumed`` indices); ``pending`` lists the indices a
+    driver must simulate, in cell order.
+    """
+
+    results: List[Optional[object]] = field(default_factory=list)
+    keys: List[Optional[str]] = field(default_factory=list)
+    cached: List[int] = field(default_factory=list)
+    resumed: List[int] = field(default_factory=list)
+    pending: List[int] = field(default_factory=list)
+
+    @property
+    def completed(self):
+        """Indices resolved without simulation, in cell order."""
+        return sorted(self.cached + self.resumed)
+
+
+class WorkQueue:
+    """Resolves a cell list against a journal and a result cache."""
+
+    def __init__(self, cells, journal=None, cache=None):
+        self.cells = list(cells)
+        self.journal = journal
+        self.cache = cache
+        self.keys = [cell_key(cell) for cell in self.cells]
+
+    def resolve(self):
+        """Build the :class:`QueuePlan` for the current cell list.
+
+        The cache is consulted first (it is the shared, authoritative
+        store and its hit counters are what the zero-recomputation
+        assertions read); journal payloads fill in for cells the cache
+        does not hold.  A journal payload that no longer deserialises
+        is treated as not-done — recompute, never guess.
+        """
+        replay = (self.journal.replay() if self.journal is not None
+                  else None)
+        plan = QueuePlan(
+            results=[None] * len(self.cells), keys=list(self.keys)
+        )
+        for index, key in enumerate(self.keys):
+            if key is None:
+                plan.pending.append(index)
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    plan.results[index] = hit
+                    plan.cached.append(index)
+                    continue
+            if replay is not None and key in replay.results:
+                try:
+                    result = result_from_payload(replay.results[key])
+                except (KeyError, TypeError):
+                    result = None
+                if result is not None:
+                    plan.results[index] = result
+                    plan.resumed.append(index)
+                    # Heal the cache: the journal proves the work was
+                    # done, so future campaigns (and other hosts)
+                    # should hit instead of resuming record by record.
+                    if self.cache is not None:
+                        self.cache.put(key, result)
+                    continue
+            plan.pending.append(index)
+        return plan
+
+
+__all__ = ["QueuePlan", "WorkQueue"]

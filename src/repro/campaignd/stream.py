@@ -1,0 +1,229 @@
+"""Live campaign status over a socket.
+
+:class:`StatusServer` is a trace *sink* (it satisfies the same
+``emit(dict)`` contract as :class:`~repro.observe.sinks.JsonlSink`)
+that broadcasts every event to connected TCP clients as JSON lines —
+the JSONL trace vocabulary, extended over a socket.  A client that
+connects mid-campaign first receives the full event history, then
+live events, so ``repro campaign status`` always renders a coherent
+picture regardless of when it attaches.
+
+Events are emitted from the campaign's main thread (the service's
+single-threaded ``record`` contract); the only other toucher is the
+accept thread handing history to a new client, and a lock covers the
+handoff so history + live streams never interleave out of order.
+Slow or vanished clients are dropped, never waited on — status is a
+spectator, and a stuck spectator must not stall the campaign.
+
+:func:`stream_events` is the client half: a generator of decoded
+events from a serving campaign, used by ``repro campaign status`` and
+the tests.  :func:`follow_status` folds a stream into a rendered
+progress line per event.
+"""
+
+import json
+import socket
+import threading
+
+from repro.observe.progress import CampaignProgress
+
+#: Events that end a status stream: after one of these the server has
+#: nothing further to say.  ``campaign_serve_finished`` closes a
+#: ``repro campaign serve`` session (which runs several table
+#: campaigns back to back, so the per-campaign ``campaign_finished``
+#: events are milestones, not the end); plain EOF — the server
+#: closing — always terminates the stream too.
+TERMINAL_EVENTS = ("campaign_serve_finished",)
+
+
+class StatusServer:
+    """Broadcasts campaign events to socket clients; acts as a sink.
+
+    Parameters
+    ----------
+    host / port:
+        Listen address; port 0 (default) picks an ephemeral port —
+        read the actual one from :attr:`port` after construction.
+    sink:
+        Optional inner sink every event is forwarded to first, so a
+        served campaign can still write its JSONL trace.
+    closing_event:
+        Optional event template broadcast by :meth:`close` right
+        before clients are disconnected (``repro campaign serve``
+        passes ``{"type": "campaign_serve_finished"}``).  The server
+        fills in ``failed`` with the count of ``cell_failed`` events
+        it relayed, so followers can derive an exit code.  Emitting
+        on close — rather than asking the campaign code to — means
+        the terminal event survives whichever layer closes the sink
+        first.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, sink=None,
+                 closing_event=None):
+        self.sink = sink
+        self.closing_event = (
+            dict(closing_event) if closing_event else None
+        )
+        self._failed = 0
+        self._server = socket.create_server((host, port))
+        self._clients = []
+        self._history = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._acceptor.start()
+
+    @property
+    def address(self):
+        """``(host, port)`` the server is listening on."""
+        return self._server.getsockname()[:2]
+
+    @property
+    def port(self):
+        """The bound port (useful with ``port=0``)."""
+        return self.address[1]
+
+    def _accept_loop(self):
+        while True:
+            try:
+                client, _ = self._server.accept()
+            except OSError:
+                return  # server socket closed
+            with self._lock:
+                try:
+                    for line in self._history:
+                        client.sendall(line)
+                except OSError:
+                    client.close()
+                    continue
+                self._clients.append(client)
+
+    def emit(self, event):
+        """Forward *event* to the inner sink and every client."""
+        if event.get("type") == "cell_failed":
+            self._failed += 1
+        if self.sink is not None:
+            self.sink.emit(event)
+        line = (
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+        with self._lock:
+            self._history.append(line)
+            alive = []
+            for client in self._clients:
+                try:
+                    client.sendall(line)
+                    alive.append(client)
+                except OSError:
+                    client.close()
+            self._clients = alive
+
+    def close(self):
+        """Stop accepting, close every client, close the inner sink.
+
+        Broadcasts the ``closing_event`` (if configured) first, so
+        followers learn the session ended instead of seeing a bare
+        EOF."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.closing_event is not None:
+            from repro.observe.sinks import stamp
+
+            event = dict(self.closing_event)
+            event.setdefault("failed", self._failed)
+            self.emit(stamp(event))
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            for client in self._clients:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+            self._clients = []
+        if self.sink is not None:
+            self.sink.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def stream_events(host="127.0.0.1", port=0, timeout=None,
+                  stop_after_terminal=True):
+    """Yield decoded events from a serving campaign.
+
+    Connects to a :class:`StatusServer`, yields each event dict as it
+    arrives (history first, then live), and returns at EOF — or, with
+    ``stop_after_terminal`` (the default), right after a
+    ``campaign_finished`` event, so followers exit when the campaign
+    does instead of waiting for the server to shut down.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        buffer = b""
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                return
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                yield event
+                if (stop_after_terminal
+                        and event.get("type") in TERMINAL_EVENTS):
+                    return
+
+
+def follow_status(events, stream=None):
+    """Render a live progress line per event; returns the last event.
+
+    *events* is any iterable of trace events (typically
+    :func:`stream_events`).  Campaign totals come from the
+    ``campaign_started`` event; each cell event advances a
+    :class:`~repro.observe.progress.CampaignProgress` whose line is
+    rendered to *stream* (default stderr).
+    """
+    progress = CampaignProgress(stream=stream)
+    last = None
+    for event in events:
+        last = event
+        kind = event.get("type")
+        if kind == "campaign_started":
+            progress.start(event.get("cells"))
+        elif kind == "cell_cached":
+            progress.cell_cached()
+        elif kind == "cell_resumed":
+            progress.cell_resumed()
+        elif kind == "cell_finished":
+            progress.cell_finished()
+        elif kind == "cell_failed":
+            progress.cell_failed()
+    progress.finish()
+    return last
+
+
+__all__ = [
+    "TERMINAL_EVENTS",
+    "StatusServer",
+    "follow_status",
+    "stream_events",
+]

@@ -1,0 +1,160 @@
+"""``repro worker``: the subprocess half of the distributed driver.
+
+A worker is handed a shard of cell specs (one JSON object per line,
+``{"index": N, "cell": {...}}``) and a shared cache directory, and
+reports back over stdout — one JSON event per line, flushed per event
+so the parent streams progress instead of waiting for exit:
+
+``worker_started``
+    ``{"cells": N, "pid": P}`` once, before any work.
+``worker_cell_done``
+    One completed cell: the parent-side index, the content-addressed
+    key, the serialised result payload, and ``"cached": true`` when
+    the shared cache already held it (another worker got there first —
+    the skip-completed path working *across* hosts mid-campaign).
+``worker_cell_failed``
+    One raised cell with its diagnosis; the worker continues with the
+    rest of its shard, mirroring the graceful degradation of
+    :func:`~repro.parallel.execute_cells`.
+``worker_finished``
+    Shard summary.  The process exits 0 even when cells failed: cell
+    failures are campaign *data*; a nonzero exit means the worker
+    itself broke.
+
+Results always ride inline in the done event (so the driver works
+with no cache at all) *and* are stored into the shared cache when one
+is configured (so other hosts and later resumes hit instead of
+recomputing).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.campaignd.cells import SpecError, cell_key, spec_to_cell
+from repro.parallel.cache import ResultCache, result_to_payload
+from repro.parallel.executor import simulate_cell
+
+
+def _emit(event):
+    """Write one protocol event to stdout, flushed."""
+    sys.stdout.write(
+        json.dumps(event, sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+    sys.stdout.flush()
+
+
+def read_cell_shard(path):
+    """Parse a shard file into ``(index, cell)`` pairs.
+
+    Raises :class:`~repro.campaignd.cells.SpecError` on an unreadable
+    entry: a worker fed a corrupt shard must fail loudly, not guess
+    which cells it was supposed to run.
+    """
+    pairs = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as error:
+                raise SpecError(
+                    f"{path}:{number}: not valid JSON ({error})"
+                ) from None
+            if (not isinstance(entry, dict) or "index" not in entry
+                    or "cell" not in entry):
+                raise SpecError(
+                    f"{path}:{number}: shard entries need 'index' "
+                    f"and 'cell'"
+                )
+            pairs.append((entry["index"], spec_to_cell(entry["cell"])))
+    return pairs
+
+
+def worker_main(argv=None):
+    """Entry point of ``repro worker``; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description=(
+            "internal: simulate a shard of campaign cells and report "
+            "results as JSON lines on stdout"
+        ),
+    )
+    parser.add_argument(
+        "--cells", required=True,
+        help="shard file: one {'index', 'cell'} JSON object per line",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="shared result cache; hits skip simulation, results are "
+             "stored for other workers and later resumes",
+    )
+    parser.add_argument(
+        "--delay-seconds", type=float, default=0.0,
+        help="sleep this long before each cell (testing aid for "
+             "timeout and kill handling)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        shard = read_cell_shard(args.cells)
+    except (OSError, SpecError) as error:
+        print(f"repro worker: {error}", file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    _emit({
+        "type": "worker_started",
+        "cells": len(shard),
+        "pid": os.getpid(),
+    })
+    failed = 0
+    for index, cell in shard:
+        if args.delay_seconds > 0:
+            time.sleep(args.delay_seconds)
+        key = cell_key(cell)
+        if cache is not None and key is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                _emit({
+                    "type": "worker_cell_done",
+                    "index": index,
+                    "key": key,
+                    "cached": True,
+                    "result": result_to_payload(hit),
+                })
+                continue
+        try:
+            result = simulate_cell(cell)
+        except Exception as error:
+            failed += 1
+            _emit({
+                "type": "worker_cell_failed",
+                "index": index,
+                "key": key,
+                "error": f"{type(error).__name__}: {error}",
+            })
+            continue
+        if cache is not None and key is not None:
+            cache.put(key, result)
+        _emit({
+            "type": "worker_cell_done",
+            "index": index,
+            "key": key,
+            "cached": False,
+            "result": result_to_payload(result),
+        })
+    _emit({
+        "type": "worker_finished",
+        "cells": len(shard),
+        "failed": failed,
+    })
+    return 0
+
+
+__all__ = ["read_cell_shard", "worker_main"]

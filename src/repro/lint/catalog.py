@@ -50,10 +50,15 @@ RULES = {
         "(arbitrary order), call unseeded `random`, or read the\n"
         "wall clock / environment: the parallel campaign cache and\n"
         "lockstep fleet assume two runs of the same cell are\n"
-        "bit-identical.  Fixes: iterate `sorted(...)`, thread an\n"
-        "explicit seeded generator, hoist clock reads to the runner\n"
-        "(host timing is declared cache-inert there).  Membership\n"
-        "tests on sets are fine — only iteration order leaks.",
+        "bit-identical.  The campaign resume machinery\n"
+        "(`resume_identity_roots`: cell keying, spec codec, journal\n"
+        "replay) is audited the same way — a resumed campaign must\n"
+        "derive identical keys on every run or it recomputes work\n"
+        "its journal already holds.  Fixes: iterate `sorted(...)`,\n"
+        "thread an explicit seeded generator, hoist clock reads to\n"
+        "the runner (host timing is declared cache-inert there).\n"
+        "Membership tests on sets are fine — only iteration order\n"
+        "leaks.",
     ),
     "R006": (
         "Cache-key soundness",
@@ -71,7 +76,11 @@ RULES = {
         "boundary: lambdas and nested functions cannot be pickled,\n"
         "and module-global mutation happens in the child and is\n"
         "silently lost.  Submit a module-level function and return\n"
-        "the data.",
+        "the data.  The named campaign worker entry points\n"
+        "(`worker_entry_points`: the pool work function and the\n"
+        "`repro worker` CLI) are held to the same no-global-mutation\n"
+        "proof even when no submit call is in view — their results\n"
+        "must travel back as return values or protocol events.",
     ),
     "R008": (
         "Transitive hot-path purity",

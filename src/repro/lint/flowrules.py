@@ -55,25 +55,48 @@ def _chain(callgraph, parents, qualname):
 def check_determinism(project, config):
     findings = []
     callgraph = project.callgraph
-    parents = callgraph.reachable(config.effect_hot_loops)
     seen = set()
-    for qualname in sorted(parents):
-        for path, lineno, flag, detail in (
-            project.effects.evidence_of(qualname)
-        ):
-            if flag not in fx.NONDET:
-                continue
-            key = (path, lineno, flag)
-            if key in seen:
-                continue
-            seen.add(key)
-            findings.append(Finding(
-                "R005", path, lineno,
-                f"nondeterminism on the simulation path: {qualname} "
-                f"{detail} (reached via "
-                f"{_chain(callgraph, parents, qualname)}); parallel "
-                f"and lockstep runs must stay bit-identical",
-            ))
+
+    def audit(roots, describe):
+        parents = callgraph.reachable(roots)
+        for qualname in sorted(parents):
+            for path, lineno, flag, detail in (
+                project.effects.evidence_of(qualname)
+            ):
+                if flag not in fx.NONDET:
+                    continue
+                key = (path, lineno, flag)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(Finding(
+                    "R005", path, lineno,
+                    describe(qualname, detail,
+                             _chain(callgraph, parents, qualname)),
+                ))
+
+    audit(
+        config.effect_hot_loops,
+        lambda qualname, detail, chain: (
+            f"nondeterminism on the simulation path: {qualname} "
+            f"{detail} (reached via {chain}); parallel and lockstep "
+            f"runs must stay bit-identical"
+        ),
+    )
+    # The resume machinery gets the same audit with its own message:
+    # cell keys and journal replays must come out identical on every
+    # run, or a resumed campaign recomputes (or mismatches) work its
+    # journal already holds.  Roots absent from the scanned file set
+    # simply contribute nothing, keeping partial-tree lints clean.
+    audit(
+        config.resume_identity_roots,
+        lambda qualname, detail, chain: (
+            f"nondeterminism on the resume-identity path: {qualname} "
+            f"{detail} (reached via {chain}); a resumable campaign "
+            f"must derive identical cell keys and journal replays on "
+            f"every run"
+        ),
+    )
     return findings
 
 
@@ -201,6 +224,24 @@ def check_worker_safety(project, config):
     findings = []
     symbols = project.symbols
     seen = set()
+    # Named worker entry points: functions that run inside campaign
+    # worker processes whether or not a `submit` call is in view.
+    # Unknown names are skipped so partial-tree lints stay clean.
+    for name in config.worker_entry_points:
+        for info in symbols.by_name.get(name, []):
+            flags = project.effects.effects_of(info.qualname)
+            if fx.GLOBAL_MUTATION not in flags:
+                continue
+            finding = Finding(
+                "R007", info.module_path, info.node.lineno,
+                f"worker entry point {info.qualname} (or a callee) "
+                f"mutates module globals; the mutation happens in "
+                f"the worker process and is silently lost — return "
+                f"the data instead",
+            )
+            if finding not in seen:
+                seen.add(finding)
+                findings.append(finding)
     for infos in symbols.functions.values():
         for info in infos:
             nested = {

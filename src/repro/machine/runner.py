@@ -288,7 +288,7 @@ class ExperimentRunner:
         plain_serial = (
             options.workers <= 1 and cache is None
             and options.trace_sink is None and not options.progress
-            and not options.fleet
+            and not options.fleet and not options.campaignd
         )
         if plain_serial:
             return [
@@ -311,11 +311,53 @@ class ExperimentRunner:
             for (config, workload, seed, max_references), label
             in zip(specs, labels)
         ]
+        if options.campaignd:
+            return self._run_service(cells, options, cache)
         return execute_cells(
             cells, workers=options.workers, cache=cache,
             sink=options.trace_sink, progress=options.progress,
             fleet=options.fleet,
         )
+
+    def _run_service(self, cells, options, cache):
+        """Drive *cells* through the campaign service.
+
+        The resumable/distributed/retrying path selected whenever the
+        options carry a journal, a driver choice, retries, or a cell
+        timeout (``options.campaignd``).  Results are bit-identical
+        to :func:`~repro.parallel.execute_cells` on the same cells.
+        """
+        from repro.campaignd import (
+            CampaignService,
+            LocalDriver,
+            RetryPolicy,
+            SubprocessDriver,
+        )
+
+        if options.driver == "subprocess":
+            driver = SubprocessDriver(
+                workers=options.workers,
+                cache_dir=cache.root if cache is not None else None,
+            )
+        else:
+            driver = LocalDriver(
+                workers=options.workers, fleet=options.fleet,
+                sink=options.trace_sink,
+            )
+        service = CampaignService(
+            cells,
+            journal=options.journal,
+            cache=cache,
+            driver=driver,
+            retry=RetryPolicy(
+                retries=options.retries,
+                backoff_seconds=options.retry_backoff_seconds,
+                timeout_seconds=options.cell_timeout_seconds,
+            ),
+            sink=options.trace_sink,
+            progress=options.progress,
+        )
+        return service.run()
 
     def run_repetitions(self, config, workload, repetitions=5,
                         max_references=None, workers=None,

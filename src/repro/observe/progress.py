@@ -4,13 +4,17 @@ A :class:`CampaignProgress` is fed by
 :func:`repro.parallel.execute_cells` as cells resolve and renders a
 one-line status after every update::
 
-    campaign: 12/40 done | 5 cached | 1 failed | 34.2s elapsed | eta 81s
+    campaign: 12/40 done | 6 computed | 5 cached | 1 FAILED | 34.2s elapsed | eta 81s
 
 On a TTY the line redraws in place (carriage return); on anything else
-each update is its own line, so CI logs show the trajectory.  The ETA
-divides elapsed wall-clock by *simulated* completions only — cache
-hits are nearly free and would otherwise make the estimate absurdly
-optimistic right after a warm start.
+each update is its own line, so CI logs show the trajectory.
+
+Cells that were *computed* (simulated this run, successfully or not)
+and cells that were merely *resolved* (cache hits, journal resumes)
+are tracked separately and both reported: resolved cells cost
+microseconds, so the ETA divides elapsed wall-clock by computed cells
+only — counting hits as full-speed completions would make the
+estimate absurdly optimistic right after a warm start or resume.
 """
 
 import sys
@@ -37,6 +41,8 @@ class CampaignProgress:
         self.label = label
         self.done = 0
         self.cached = 0
+        self.resumed = 0
+        self.computed = 0
         self.failed = 0
         self._started = time.perf_counter()
 
@@ -60,6 +66,8 @@ class CampaignProgress:
         self.total = total
         self.done = 0
         self.cached = 0
+        self.resumed = 0
+        self.computed = 0
         self.failed = 0
         self._started = time.perf_counter()
 
@@ -71,9 +79,16 @@ class CampaignProgress:
         self.cached += 1
         self.render()
 
-    def cell_finished(self):
-        """One cell simulated successfully."""
+    def cell_resumed(self):
+        """One cell resolved from a campaign journal's payloads."""
         self.done += 1
+        self.resumed += 1
+        self.render()
+
+    def cell_finished(self):
+        """One cell simulated successfully (a *computed* completion)."""
+        self.done += 1
+        self.computed += 1
         self.render()
 
     def cell_failed(self):
@@ -92,23 +107,28 @@ class CampaignProgress:
     def eta_seconds(self):
         """Estimated seconds remaining, or ``None`` if unknowable.
 
-        Based on simulated (non-cached) completions only; cache hits
-        cost microseconds and must not dilute the per-cell average.
+        Based on *computed* completions only (successes and failures
+        that actually simulated); cache hits and journal resumes cost
+        microseconds and must not dilute the per-cell average.
         """
         if self.total is None:
             return None
-        simulated = self.done - self.cached
+        worked = self.computed + self.failed
         remaining = self.total - self.done
-        if simulated <= 0 or remaining <= 0:
+        if worked <= 0 or remaining <= 0:
             return 0.0 if remaining <= 0 else None
-        return self.elapsed_seconds / simulated * remaining
+        return self.elapsed_seconds / worked * remaining
 
     def status_line(self):
         """The current one-line status."""
         total = "?" if self.total is None else self.total
         parts = [f"campaign: {self.done}/{total} {self.label} done"]
+        if self.computed:
+            parts.append(f"{self.computed} computed")
         if self.cached:
             parts.append(f"{self.cached} cached")
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
         if self.failed:
             parts.append(f"{self.failed} FAILED")
         parts.append(f"{self.elapsed_seconds:.1f}s elapsed")
@@ -135,7 +155,8 @@ class CampaignProgress:
     def __repr__(self):
         return (
             f"CampaignProgress({self.done}/{self.total}, "
-            f"{self.cached} cached, {self.failed} failed)"
+            f"{self.computed} computed, {self.cached} cached, "
+            f"{self.resumed} resumed, {self.failed} failed)"
         )
 
 

@@ -24,27 +24,39 @@ def read_trace(path):
     """Parse a JSONL trace into a list of event dicts.
 
     Raises :class:`~repro.common.errors.TraceFormatError` on a line
-    that is not a JSON object — a truncated final line (killed run)
-    is reported with its line number rather than silently dropped.
+    that is not a JSON object, with one deliberate exception: a torn
+    *final* line with no trailing newline is the normal signature of
+    a killed run (the sink flushes per event, so only the in-flight
+    record can be cut mid-write), and is silently skipped so crashed
+    campaigns stay reportable.  Corruption anywhere else still raises
+    with the line number — a torn line mid-file means real damage,
+    not a crash.
     """
     events = []
     with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+        lines = handle.readlines()
+    last = len(lines) - 1
+    for number, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        torn_tail = number == last and not raw.endswith("\n")
+        try:
+            event = json.loads(line)
+        except ValueError as error:
+            if torn_tail:
                 continue
-            try:
-                event = json.loads(line)
-            except ValueError as error:
-                raise TraceFormatError(
-                    f"{path}:{number}: not valid JSON ({error})"
-                ) from None
-            if not isinstance(event, dict) or "type" not in event:
-                raise TraceFormatError(
-                    f"{path}:{number}: trace events must be objects "
-                    f"with a 'type' key"
-                )
-            events.append(event)
+            raise TraceFormatError(
+                f"{path}:{number + 1}: not valid JSON ({error})"
+            ) from None
+        if not isinstance(event, dict) or "type" not in event:
+            if torn_tail:
+                continue
+            raise TraceFormatError(
+                f"{path}:{number + 1}: trace events must be objects "
+                f"with a 'type' key"
+            )
+        events.append(event)
     return events
 
 

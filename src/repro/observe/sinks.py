@@ -28,6 +28,7 @@ any cross-process locking.
 """
 
 import json
+import os
 import time
 
 
@@ -68,20 +69,26 @@ class JsonlSink:
     ``mode="w"`` (default) starts a fresh trace; pass ``mode="a"`` to
     extend an existing one across commands.  Lines are flushed per
     event so concurrent readers (and post-mortems of killed runs) see
-    every completed record.
+    every completed record; pass ``fsync=True`` to additionally force
+    each record to stable storage before :meth:`emit` returns — a
+    ``kill -9`` (or power loss) can then tear at most the one line
+    being written, which the trace reader skips.
     """
 
-    def __init__(self, path, mode="w"):
+    def __init__(self, path, mode="w", fsync=False):
         self.path = str(path)
+        self.fsync = fsync
         self._handle = open(self.path, mode, encoding="utf-8")
 
     def emit(self, event):
-        """Serialise *event* compactly and flush."""
+        """Serialise *event* compactly, flush, optionally fsync."""
         self._handle.write(
             json.dumps(event, sort_keys=True, separators=(",", ":"))
             + "\n"
         )
         self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self):
         """Close the underlying file."""

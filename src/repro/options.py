@@ -75,6 +75,28 @@ class RunOptions:
         for a stderr line, or a
         :class:`~repro.observe.progress.CampaignProgress` instance.
         Likewise excluded from equality.
+    journal:
+        Path to an append-only campaign journal
+        (:class:`~repro.campaignd.journal.CampaignJournal`).  Setting
+        it routes multi-cell entry points through the campaign
+        service: every completed cell is durably recorded, and a
+        rerun resumes instead of recomputing.  Like every other knob,
+        journaling never changes results — only crash behaviour.
+    driver:
+        Campaign execution backend: ``None``/``"local"`` for the
+        in-process pool/fleet paths, ``"subprocess"`` for ``repro
+        worker`` subprocesses sharding over the shared cache
+        directory.  Any non-``None`` value routes through the
+        campaign service.  Results are bit-identical across drivers.
+    retries:
+        Extra service-level attempts for failed cells (0 = fail
+        fast).  A non-zero value routes through the campaign service.
+    retry_backoff_seconds:
+        Base of the exponential sleep between retry attempts.
+    cell_timeout_seconds:
+        Wall-clock bound on one worker shard; requires the
+        ``subprocess`` driver (the in-process pool cannot kill a
+        stuck worker).  Setting it routes through the service.
     """
 
     workers: int = 1
@@ -89,6 +111,11 @@ class RunOptions:
         default=None, compare=False, hash=False
     )
     progress: Any = field(default=None, compare=False, hash=False)
+    journal: Optional[str] = None
+    driver: Optional[str] = None
+    retries: int = 0
+    retry_backoff_seconds: float = 0.5
+    cell_timeout_seconds: Optional[float] = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -111,6 +138,42 @@ class RunOptions:
                     f"unknown sanitize mode {self.sanitize!r}; "
                     f"expected one of {sorted(MODES)}"
                 )
+        if self.driver not in (None, "local", "subprocess"):
+            raise ValueError(
+                f"unknown driver {self.driver!r}; expected 'local' "
+                f"or 'subprocess'"
+            )
+        if self.retries < 0:
+            raise ValueError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ValueError(
+                f"retry_backoff_seconds must be >= 0, got "
+                f"{self.retry_backoff_seconds}"
+            )
+        if (self.cell_timeout_seconds is not None
+                and self.cell_timeout_seconds <= 0):
+            raise ValueError(
+                f"cell_timeout_seconds must be > 0, got "
+                f"{self.cell_timeout_seconds}"
+            )
+        if (self.cell_timeout_seconds is not None
+                and self.driver != "subprocess"):
+            raise ValueError(
+                "cell_timeout_seconds requires driver='subprocess' "
+                "(the in-process pool cannot kill a stuck worker)"
+            )
+
+    @property
+    def campaignd(self):
+        """Whether these options route through the campaign service."""
+        return (
+            self.journal is not None
+            or self.driver is not None
+            or self.retries > 0
+            or self.cell_timeout_seconds is not None
+        )
 
     def build_cache(self):
         """The :class:`ResultCache` these options describe, or ``None``."""

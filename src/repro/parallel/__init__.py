@@ -27,6 +27,7 @@ from repro.parallel.executor import (
     CellFailure,
     RunCell,
     execute_cells,
+    run_pending,
     simulate_cell,
 )
 
@@ -41,6 +42,7 @@ __all__ = [
     "execute_cells",
     "result_from_payload",
     "result_to_payload",
+    "run_pending",
     "simulate_cell",
     "workload_spec",
 ]

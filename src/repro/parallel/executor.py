@@ -142,6 +142,64 @@ def _failure(index, cell, error):
     )
 
 
+def run_pending(cells, pending, record, workers=1, fleet=False,
+                sink=None):
+    """Simulate the *pending* subset of *cells* through a work path.
+
+    The execution core shared by :func:`execute_cells` and the
+    campaign service's :class:`~repro.campaignd.drivers.LocalDriver`:
+    picks the in-process, process-pool, or lockstep-fleet path and
+    feeds every outcome to ``record(index, outcome)`` — a
+    :class:`~repro.machine.runner.RunResult` on success, the raised
+    exception on failure.  ``record`` is always called from the
+    calling process (workers return values; they never call back), so
+    callers may journal, cache, and emit from it without locking.
+    """
+    from repro.observe.sinks import stamp
+
+    if fleet and pending:
+        from repro.fleet.runner import simulate_cells_fleet
+
+        simulate_cells_fleet(cells, pending, record)
+    elif workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            try:
+                outcome = simulate_cell(cells[index])
+            except Exception as error:
+                outcome = error
+            record(index, outcome)
+    else:
+        pool_size = min(workers, len(pending))
+        if sink is not None:
+            sink.emit(stamp({
+                "type": "worker_pool_started",
+                "workers": pool_size,
+                "cells": len(pending),
+            }))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(simulate_cell, cells[index]): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    error = future.exception()
+                    record(
+                        futures[future],
+                        error if error is not None
+                        else future.result(),
+                    )
+        if sink is not None:
+            sink.emit(stamp({
+                "type": "worker_pool_finished",
+                "workers": pool_size,
+            }))
+
+
 def execute_cells(cells, workers=1, cache=None, sink=None,
                   progress=None, fleet=False):
     """Execute *cells*, returning results in the given cell order.
@@ -232,47 +290,8 @@ def execute_cells(cells, workers=1, cache=None, sink=None,
             if progress is not None:
                 progress.cell_finished()
 
-    if fleet and pending:
-        from repro.fleet.runner import simulate_cells_fleet
-
-        simulate_cells_fleet(cells, pending, record)
-    elif workers <= 1 or len(pending) <= 1:
-        for index in pending:
-            try:
-                outcome = simulate_cell(cells[index])
-            except Exception as error:
-                outcome = error
-            record(index, outcome)
-    else:
-        pool_size = min(workers, len(pending))
-        if sink is not None:
-            sink.emit(stamp({
-                "type": "worker_pool_started",
-                "workers": pool_size,
-                "cells": len(pending),
-            }))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = {
-                pool.submit(simulate_cell, cells[index]): index
-                for index in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    error = future.exception()
-                    record(
-                        futures[future],
-                        error if error is not None
-                        else future.result(),
-                    )
-        if sink is not None:
-            sink.emit(stamp({
-                "type": "worker_pool_finished",
-                "workers": pool_size,
-            }))
+    run_pending(cells, pending, record, workers=workers, fleet=fleet,
+                sink=sink)
 
     if cache is not None:
         # Stores happen in the parent, after the pool has drained, so

@@ -1,0 +1,76 @@
+"""Subprocess half of the kill-resume tests: a paced journaled campaign.
+
+Run as a script (``python _campaign_script.py --journal J --cache-dir
+C --delay 0.3``) it executes the Table 4.1-shaped grid below through
+the campaign service, sleeping ``--delay`` seconds before recording
+each computed cell so the parent test can kill it mid-campaign at a
+known point.  The test imports :func:`campaign_cells` from this same
+file, so both processes agree on the grid by construction.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.campaignd.drivers import LocalDriver
+from repro.campaignd.service import CampaignService
+from repro.machine.config import scaled_config
+from repro.parallel import ResultCache, RunCell
+from repro.workloads.slc import SlcWorkload
+from repro.workloads.workload1 import Workload1
+
+TINY_SCALE = 0.003
+MAX_REFS = 2000
+
+
+def campaign_cells():
+    """A small Table 4.1-shaped grid: 2 workloads x 2 memories x 2 seeds."""
+    cells = []
+    for name, cls in (("SLC", SlcWorkload), ("WORKLOAD1", Workload1)):
+        for ratio in (40, 48):
+            for seed in (0, 1):
+                cells.append(RunCell(
+                    scaled_config(memory_ratio=ratio),
+                    cls(length_scale=TINY_SCALE),
+                    seed=seed,
+                    max_references=MAX_REFS,
+                    label=f"{name}-{ratio}-s{seed}",
+                ))
+    return cells
+
+
+class PacedLocalDriver(LocalDriver):
+    """A serial LocalDriver that sleeps before recording each cell."""
+
+    def __init__(self, delay):
+        super().__init__(workers=1)
+        self.delay = delay
+
+    def run(self, cells, pending, record):
+        def paced(index, outcome):
+            if self.delay > 0:
+                time.sleep(self.delay)
+            record(index, outcome)
+
+        super().run(cells, pending, paced)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--journal", required=True)
+    parser.add_argument("--cache-dir", required=True)
+    parser.add_argument("--delay", type=float, default=0.0)
+    args = parser.parse_args(argv)
+    service = CampaignService(
+        campaign_cells(),
+        journal=args.journal,
+        cache=ResultCache(args.cache_dir),
+        driver=PacedLocalDriver(args.delay),
+    )
+    service.run()
+    print("campaign complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Shared campaignd fixtures: a tiny campaign grid and its results.
+
+The grid is deliberately small (one config, one workload recipe, a
+few seeds) so every test that needs *real* RunResults — journal
+payloads, cache entries, bit-identity comparisons — pays for the
+simulation once per session.
+"""
+
+import pytest
+
+from repro.machine.config import scaled_config
+from repro.parallel import RunCell, execute_cells
+from repro.workloads.slc import SlcWorkload
+
+TINY_SCALE = 0.003
+MAX_REFS = 2000
+
+
+def make_cells(seeds=(0, 1, 2, 3), memory_ratio=40):
+    """A tiny, fully cacheable campaign grid (one cell per seed)."""
+    return [
+        RunCell(
+            scaled_config(memory_ratio=memory_ratio),
+            SlcWorkload(length_scale=TINY_SCALE),
+            seed=seed,
+            max_references=MAX_REFS,
+            label=f"slc-{memory_ratio}-s{seed}",
+        )
+        for seed in seeds
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_cells():
+    """Four tiny cells, shared (read-only) across the session."""
+    return make_cells()
+
+
+@pytest.fixture(scope="session")
+def tiny_results(tiny_cells):
+    """The tiny grid's results, computed once per session."""
+    return execute_cells(tiny_cells)

@@ -1,0 +1,107 @@
+"""SubprocessDriver: sharding, bit-identity, timeouts, and crashes.
+
+These tests spawn real ``repro worker`` subprocesses, so they lean on
+the session-scoped tiny grid and keep worker counts small.
+"""
+
+import pytest
+
+from repro.campaignd.cells import cell_key
+from repro.campaignd.drivers import SubprocessDriver
+from repro.campaignd.service import CampaignService
+from repro.machine.runner import RunResult
+from repro.parallel import ResultCache
+
+
+def drive(driver, cells, pending=None):
+    """Run *driver* over *cells*, collecting outcomes by index."""
+    outcomes = {}
+    driver.run(
+        cells,
+        list(range(len(cells))) if pending is None else pending,
+        lambda index, outcome: outcomes.__setitem__(index, outcome),
+    )
+    return outcomes
+
+
+class TestSubprocessDriver:
+    def test_two_workers_bit_identical_to_local(self, tmp_path,
+                                                tiny_cells,
+                                                tiny_results):
+        driver = SubprocessDriver(workers=2, cache_dir=tmp_path)
+        outcomes = drive(driver, tiny_cells)
+        assert sorted(outcomes) == list(range(len(tiny_cells)))
+        for index, expected in enumerate(tiny_results):
+            assert isinstance(outcomes[index], RunResult)
+            assert outcomes[index] == expected
+        # Workers stored every result into the shared cache.
+        shared = ResultCache(tmp_path)
+        for cell in tiny_cells:
+            assert shared.get(cell_key(cell)) is not None
+
+    def test_no_cache_dir_streams_results_inline(self, tiny_cells,
+                                                 tiny_results):
+        driver = SubprocessDriver(workers=2)
+        assert driver.stores_results is False
+        outcomes = drive(driver, tiny_cells, pending=[0, 2])
+        assert outcomes[0] == tiny_results[0]
+        assert outcomes[2] == tiny_results[2]
+
+    def test_empty_pending_is_a_no_op(self, tiny_cells):
+        assert drive(SubprocessDriver(workers=2), tiny_cells,
+                     pending=[]) == {}
+
+    def test_timeout_kills_overdue_workers(self, tiny_cells):
+        driver = SubprocessDriver(
+            workers=1, worker_args=("--delay-seconds", "60"),
+            timeout_seconds=2.0,
+        )
+        outcomes = drive(driver, tiny_cells, pending=[0])
+        assert isinstance(outcomes[0], TimeoutError)
+        assert "killed" in str(outcomes[0])
+
+    def test_worker_crash_reports_exit_code_and_stderr(self,
+                                                       tiny_cells):
+        driver = SubprocessDriver(
+            workers=1, worker_args=("--no-such-flag",),
+        )
+        outcomes = drive(driver, tiny_cells, pending=[1])
+        assert isinstance(outcomes[1], RuntimeError)
+        message = str(outcomes[1])
+        assert "exited with code" in message
+        assert "no-such-flag" in message
+
+    def test_describe_names_the_shard_count(self):
+        assert SubprocessDriver(workers=3).describe() == (
+            "subprocess(workers=3)"
+        )
+
+
+class TestServiceWithSubprocessDriver:
+    def test_campaign_bit_identical_and_worker_stored(
+            self, tmp_path, tiny_cells, tiny_results):
+        cache = ResultCache(tmp_path / "cache")
+        service = CampaignService(
+            tiny_cells,
+            journal=tmp_path / "j.jsonl",
+            cache=cache,
+            driver=SubprocessDriver(workers=2,
+                                    cache_dir=tmp_path / "cache"),
+        )
+        assert service.run() == tiny_results
+        # The parent never stored: workers own the shared cache.
+        assert cache.stores == 0
+        assert len(ResultCache(tmp_path / "cache")) == len(tiny_cells)
+
+    def test_shards_share_mid_campaign_work(self, tmp_path,
+                                            tiny_cells, tiny_results):
+        # Pre-store half the grid: workers must report those as cached
+        # hits instead of recomputing them.
+        cache_dir = tmp_path / "cache"
+        warm = ResultCache(cache_dir)
+        for index in (0, 3):
+            warm.put(cell_key(tiny_cells[index]), tiny_results[index])
+        driver = SubprocessDriver(workers=2, cache_dir=cache_dir)
+        outcomes = drive(driver, tiny_cells)
+        for index, expected in enumerate(tiny_results):
+            assert outcomes[index] == expected

@@ -1,0 +1,117 @@
+"""The append-only journal: durability, replay, and damage tolerance."""
+
+import json
+
+from repro.campaignd.journal import (
+    JOURNAL_FORMAT,
+    CampaignJournal,
+    read_journal,
+)
+
+
+def payload(n):
+    """A minimal stand-in result payload (replay treats it opaquely)."""
+    return {"format": 1, "cycles": n}
+
+
+class TestAppendAndReplay:
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = read_journal(tmp_path / "absent.jsonl")
+        assert replay.records == 0
+        assert replay.results == {}
+        assert replay.failures == {}
+        assert not replay.torn_tail
+
+    def test_done_and_failed_records(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.plan(["k0", "k1", None], ["a", "b", None])
+        journal.cell_done(0, "k0", "a", payload(1))
+        journal.cell_failed(1, "k1", "b", "RuntimeError: boom")
+        journal.close()
+        replay = read_journal(journal.path)
+        assert replay.records == 3
+        assert replay.planned_cells == 3
+        assert replay.results == {"k0": payload(1)}
+        assert replay.failures == {"k1": "RuntimeError: boom"}
+        assert replay.completed == 1
+
+    def test_last_result_wins(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.cell_done(0, "k0", "a", payload(1))
+        journal.cell_done(0, "k0", "a", payload(2))
+        journal.close()
+        assert read_journal(journal.path).results["k0"] == payload(2)
+
+    def test_later_done_clears_failure(self, tmp_path):
+        # A failed attempt followed by a successful retry (possibly in
+        # a later campaign run) must replay as done, not failed.
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.cell_failed(0, "k0", "a", "boom")
+        journal.cell_done(0, "k0", "a", payload(3))
+        journal.close()
+        replay = read_journal(journal.path)
+        assert replay.failures == {}
+        assert replay.results == {"k0": payload(3)}
+
+    def test_every_record_lands_on_disk_per_append(self, tmp_path):
+        # No close() before reading: append must flush, so a reader
+        # (or a post-kill replay) always sees every completed record.
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.cell_done(0, "k0", "a", payload(1))
+        assert read_journal(journal.path).completed == 1
+        journal.close()
+
+    def test_coerce(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        assert CampaignJournal.coerce(None) is None
+        assert CampaignJournal.coerce(journal) is journal
+        built = CampaignJournal.coerce(tmp_path / "other.jsonl")
+        assert isinstance(built, CampaignJournal)
+
+
+class TestDamageTolerance:
+    def test_torn_tail_flagged_not_counted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, fsync=False)
+        journal.cell_done(0, "k0", "a", payload(1))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "cell_done", "key": "k1", "resu')
+        replay = read_journal(path)
+        assert replay.torn_tail
+        assert replay.corrupt_records == 0
+        assert replay.results == {"k0": payload(1)}
+
+    def test_mid_file_corruption_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, fsync=False)
+        journal.cell_done(0, "k0", "a", payload(1))
+        journal.close()
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("not json at all\n" + "".join(lines))
+        replay = read_journal(path)
+        assert replay.corrupt_records == 1
+        assert not replay.torn_tail
+        assert replay.results == {"k0": payload(1)}
+
+    def test_unknown_format_records_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        record = {
+            "type": "cell_done", "key": "k9", "result": payload(9),
+            "format": JOURNAL_FORMAT + 1,
+        }
+        path.write_text(json.dumps(record) + "\n")
+        replay = read_journal(path)
+        assert replay.results == {}
+        assert replay.corrupt_records == 1
+
+    def test_done_record_without_payload_counted_corrupt(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        record = {
+            "type": "cell_done", "key": "k0", "result": "not-a-dict",
+            "format": JOURNAL_FORMAT,
+        }
+        path.write_text(json.dumps(record) + "\n")
+        replay = read_journal(path)
+        assert replay.results == {}
+        assert replay.corrupt_records == 1

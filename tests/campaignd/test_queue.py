@@ -1,0 +1,96 @@
+"""WorkQueue resolution: cache first, journal second, pending last."""
+
+from repro.campaignd.cells import cell_key
+from repro.campaignd.journal import CampaignJournal
+from repro.campaignd.queue import WorkQueue
+from repro.parallel import ResultCache
+from repro.parallel.cache import result_to_payload
+
+from tests.campaignd.conftest import make_cells
+
+
+class TestResolve:
+    def test_all_pending_when_cold(self, tiny_cells):
+        plan = WorkQueue(tiny_cells).resolve()
+        assert plan.pending == list(range(len(tiny_cells)))
+        assert plan.cached == [] and plan.resumed == []
+        assert plan.results == [None] * len(tiny_cells)
+
+    def test_cache_hits_resolve_first(self, tmp_path, tiny_cells,
+                                      tiny_results):
+        cache = ResultCache(tmp_path)
+        cache.put(cell_key(tiny_cells[1]), tiny_results[1])
+        plan = WorkQueue(tiny_cells, cache=cache).resolve()
+        assert plan.cached == [1]
+        assert plan.pending == [0, 2, 3]
+        assert plan.results[1] == tiny_results[1]
+
+    def test_journal_payloads_resume_without_cache(self, tmp_path,
+                                                   tiny_cells,
+                                                   tiny_results):
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.cell_done(2, cell_key(tiny_cells[2]), "x",
+                          result_to_payload(tiny_results[2]))
+        journal.close()
+        plan = WorkQueue(tiny_cells, journal=journal).resolve()
+        assert plan.resumed == [2]
+        assert plan.pending == [0, 1, 3]
+        assert plan.results[2] == tiny_results[2]
+
+    def test_journal_resume_heals_the_cache(self, tmp_path, tiny_cells,
+                                            tiny_results):
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.cell_done(0, cell_key(tiny_cells[0]), "x",
+                          result_to_payload(tiny_results[0]))
+        journal.close()
+        cache = ResultCache(tmp_path / "cache")
+        first = WorkQueue(tiny_cells, journal=journal,
+                          cache=cache).resolve()
+        assert first.resumed == [0]
+        assert cache.stores == 1
+        # Second resolution hits the healed cache; the journal record
+        # is no longer needed.
+        second = WorkQueue(tiny_cells, cache=cache).resolve()
+        assert second.cached == [0]
+        assert second.resumed == []
+
+    def test_cache_preferred_over_journal(self, tmp_path, tiny_cells,
+                                          tiny_results):
+        key = cell_key(tiny_cells[0])
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.cell_done(0, key, "x",
+                          result_to_payload(tiny_results[0]))
+        journal.close()
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(key, tiny_results[0])
+        plan = WorkQueue(tiny_cells, journal=journal,
+                         cache=cache).resolve()
+        assert plan.cached == [0]
+        assert plan.resumed == []
+
+    def test_undecodable_journal_payload_stays_pending(self, tmp_path,
+                                                       tiny_cells):
+        journal = CampaignJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.cell_done(0, cell_key(tiny_cells[0]), "x",
+                          {"format": 1, "not": "a result"})
+        journal.close()
+        plan = WorkQueue(tiny_cells, journal=journal).resolve()
+        assert 0 in plan.pending
+        assert plan.resumed == []
+
+    def test_unkeyable_cell_is_always_pending(self, tmp_path):
+        class Opaque:
+            pass
+
+        cells = make_cells(seeds=(0,))
+        cells[0].workload.helper = Opaque()
+        cache = ResultCache(tmp_path)
+        plan = WorkQueue(cells, cache=cache).resolve()
+        assert plan.keys == [None]
+        assert plan.pending == [0]
+
+    def test_completed_property_merges_in_cell_order(self):
+        from repro.campaignd.queue import QueuePlan
+
+        plan = QueuePlan(cached=[3, 0], resumed=[2])
+        assert plan.completed == [0, 2, 3]

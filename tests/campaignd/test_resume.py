@@ -1,0 +1,183 @@
+"""Crash-resume end to end: kill -9 a campaign, resume, lose nothing.
+
+The headline guarantees under test:
+
+* a SIGKILLed campaign's journal and cache hold every completed cell;
+* resuming recomputes **zero** completed cells (proved by cache-hit
+  counters) and the merged results are bit-identical to a campaign
+  that was never interrupted;
+* a journal with corrupted or torn records degrades gracefully —
+  damaged cells recompute, intact cells still resume.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.campaignd.drivers import LocalDriver
+from repro.campaignd.journal import read_journal
+from repro.campaignd.service import CampaignService
+from repro.parallel import ResultCache, execute_cells
+
+from tests.campaignd._campaign_script import campaign_cells
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "_campaign_script.py")
+
+
+def script_env():
+    """Make the subprocess import the same ``repro`` this test runs."""
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))
+    )
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def wait_for_completed(journal_path, minimum, timeout=120.0):
+    """Poll the journal until *minimum* cells are durably recorded."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        completed = read_journal(journal_path).completed
+        if completed >= minimum:
+            return completed
+        time.sleep(0.05)
+    raise AssertionError(
+        f"journal never reached {minimum} completed cells"
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_results():
+    """The grid's results from a run that was never interrupted."""
+    return execute_cells(campaign_cells())
+
+
+class TestKillMinusNineResume:
+    def test_zero_recomputation_and_bit_identical_merge(
+            self, tmp_path, uninterrupted_results):
+        cells = campaign_cells()
+        journal = tmp_path / "journal.jsonl"
+        cache_dir = tmp_path / "cache"
+        stderr_path = tmp_path / "campaign.stderr"
+        with open(stderr_path, "w", encoding="utf-8") as stderr:
+            proc = subprocess.Popen(
+                [sys.executable, SCRIPT,
+                 "--journal", str(journal),
+                 "--cache-dir", str(cache_dir),
+                 "--delay", "0.3"],
+                env=script_env(),
+                stdout=subprocess.DEVNULL,
+                stderr=stderr,
+            )
+        try:
+            wait_for_completed(journal, 3)
+        except BaseException:
+            proc.kill()
+            proc.wait(timeout=30)
+            raise AssertionError(
+                "campaign subprocess made no progress; stderr:\n"
+                + stderr_path.read_text()
+            )
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        # The campaign really was interrupted mid-flight.
+        completed_before = read_journal(journal).completed
+        assert 0 < completed_before < len(cells)
+
+        cache = ResultCache(cache_dir)
+        results = CampaignService(
+            cells, journal=journal, cache=cache, driver=LocalDriver(),
+        ).run()
+
+        # Zero recomputation: every cell the killed run finished came
+        # back as a cache hit, and only the remainder was computed
+        # (and stored).  The cache may be one cell ahead of the
+        # journal if the kill landed between the store and the append.
+        assert cache.hits >= completed_before
+        assert cache.hits < len(cells)
+        assert cache.stores == len(cells) - cache.hits
+
+        # Bit-identical merge of resumed + freshly computed cells.
+        assert results == uninterrupted_results
+
+        # The journal now holds the whole campaign.
+        assert read_journal(journal).completed == len(cells)
+
+    def test_second_resume_recomputes_nothing_at_all(
+            self, tmp_path, uninterrupted_results):
+        cells = campaign_cells()
+        journal = tmp_path / "journal.jsonl"
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        CampaignService(
+            cells, journal=journal, cache=cache, driver=LocalDriver(),
+        ).run()
+        again = ResultCache(cache_dir)
+        results = CampaignService(
+            cells, journal=journal, cache=again, driver=LocalDriver(),
+        ).run()
+        assert again.hits == len(cells)
+        assert again.stores == 0
+        assert results == uninterrupted_results
+
+
+class TestDamagedJournalRecovery:
+    def test_corrupt_and_torn_records_recompute_only_their_cells(
+            self, tmp_path, uninterrupted_results):
+        cells = campaign_cells()
+        journal = tmp_path / "journal.jsonl"
+        CampaignService(
+            cells, journal=journal, driver=LocalDriver(),
+        ).run()
+
+        # Damage the journal: corrupt cell 1's record in place and
+        # tear the final record (cell N-1) mid-line.
+        lines = journal.read_text().splitlines()
+        damaged = []
+        for line in lines[:-1]:
+            record = json.loads(line)
+            if (record.get("type") == "cell_done"
+                    and record.get("index") == 1):
+                damaged.append(line[: len(line) // 2])
+            else:
+                damaged.append(line)
+        torn = lines[-1][: len(lines[-1]) // 2]
+        journal.write_text("\n".join(damaged) + "\n" + torn)
+
+        replay = read_journal(journal)
+        assert replay.corrupt_records >= 1
+        assert replay.torn_tail
+        assert replay.completed == len(cells) - 2
+
+        tracking = TrackingDriver()
+        results = CampaignService(
+            cells, journal=journal, driver=tracking,
+        ).run()
+        # Only the two damaged cells were recomputed.
+        assert tracking.pending_seen == [[1, len(cells) - 1]]
+        assert results == uninterrupted_results
+
+
+class TrackingDriver(LocalDriver):
+    """LocalDriver that records which indices it was asked to run."""
+
+    def __init__(self):
+        super().__init__(workers=1)
+        self.pending_seen = []
+
+    def run(self, cells, pending, record):
+        self.pending_seen.append(list(pending))
+        super().run(cells, pending, record)

@@ -1,0 +1,226 @@
+"""CampaignService: resume, retry, events, and failure semantics.
+
+Driver doubles replay precomputed results, so these tests exercise
+the service's orchestration (journal ordering, retry accounting,
+event vocabulary) without paying for simulation in every test.
+"""
+
+import io
+
+import pytest
+
+from repro.campaignd.drivers import LocalDriver, RetryPolicy, SubprocessDriver
+from repro.campaignd.journal import read_journal
+from repro.campaignd.service import CampaignService
+from repro.observe.progress import CampaignProgress
+from repro.observe.sinks import MemorySink
+from repro.parallel import CampaignError, ResultCache
+
+
+class StubDriver:
+    """Replays canned results; records every pending list it was given."""
+
+    supports_timeout = False
+    stores_results = False
+
+    def __init__(self, results, fail_indices=(), fail_times=0):
+        self.results = results
+        self.fail_indices = set(fail_indices)
+        self.fail_times = fail_times
+        self.calls = []
+
+    def describe(self):
+        return "stub"
+
+    def run(self, cells, pending, record):
+        attempt = len(self.calls)
+        self.calls.append(list(pending))
+        for index in pending:
+            if index in self.fail_indices and attempt < self.fail_times:
+                record(index, RuntimeError(f"flaky cell {index}"))
+            else:
+                record(index, self.results[index])
+
+
+class StoringStubDriver(StubDriver):
+    """A stub that claims worker-side storage (like SubprocessDriver)."""
+
+    stores_results = True
+
+
+class TestRunAndResume:
+    def test_local_driver_matches_execute_cells(self, tiny_cells,
+                                                tiny_results):
+        service = CampaignService(tiny_cells, driver=LocalDriver())
+        assert service.run() == tiny_results
+
+    def test_journal_resume_skips_every_completed_cell(
+            self, tmp_path, tiny_cells, tiny_results):
+        journal = tmp_path / "j.jsonl"
+        first = CampaignService(
+            tiny_cells, journal=journal,
+            driver=StubDriver(tiny_results),
+        )
+        assert first.run() == tiny_results
+
+        sink = MemorySink()
+        second_driver = StubDriver(tiny_results)
+        second = CampaignService(
+            tiny_cells, journal=journal, driver=second_driver,
+            sink=sink,
+        )
+        assert second.run() == tiny_results
+        # Nothing was pending, so the driver was never consulted.
+        assert second_driver.calls == []
+        assert len(sink.of_type("cell_resumed")) == len(tiny_cells)
+        started = sink.of_type("campaign_started")[0]
+        assert started["resumed"] == len(tiny_cells)
+        assert started["pending"] == 0
+
+    def test_warm_cache_resolves_before_the_driver(
+            self, tmp_path, tiny_cells, tiny_results):
+        cache = ResultCache(tmp_path)
+        CampaignService(
+            tiny_cells, cache=cache, driver=StubDriver(tiny_results),
+        ).run()
+        sink = MemorySink()
+        progress = CampaignProgress(stream=io.StringIO())
+        driver = StubDriver(tiny_results)
+        results = CampaignService(
+            tiny_cells, cache=cache, driver=driver, sink=sink,
+            progress=progress,
+        ).run()
+        assert results == tiny_results
+        assert driver.calls == []
+        assert len(sink.of_type("cell_cached")) == len(tiny_cells)
+        assert progress.cached == len(tiny_cells)
+        assert progress.computed == 0
+        assert progress.done == len(tiny_cells)
+
+    def test_journal_holds_results_before_events_fire(
+            self, tmp_path, tiny_cells, tiny_results):
+        journal = tmp_path / "j.jsonl"
+        seen = []
+
+        class Watcher:
+            def emit(self, event):
+                if event.get("type") == "cell_finished":
+                    seen.append(read_journal(journal).completed)
+
+            def close(self):
+                pass
+
+        CampaignService(
+            tiny_cells, journal=journal,
+            driver=StubDriver(tiny_results), sink=Watcher(),
+        ).run()
+        # By the time each cell_finished event is visible, that cell's
+        # record is already durable: completed counts 1, 2, 3, 4.
+        assert seen == list(range(1, len(tiny_cells) + 1))
+
+
+class TestEvents:
+    def test_vocabulary_of_a_clean_run(self, tmp_path, tiny_cells,
+                                       tiny_results):
+        sink = MemorySink()
+        CampaignService(
+            tiny_cells, cache=ResultCache(tmp_path),
+            driver=StubDriver(tiny_results), sink=sink,
+        ).run()
+        started = sink.of_type("campaign_started")[0]
+        assert started["cells"] == len(tiny_cells)
+        assert started["pending"] == len(tiny_cells)
+        assert started["driver"] == "stub"
+        assert len(sink.of_type("cell_finished")) == len(tiny_cells)
+        assert len(sink.of_type("run_finished")) == len(tiny_cells)
+        finished = sink.of_type("campaign_finished")[0]
+        assert finished["computed"] == len(tiny_cells)
+        assert finished["failed"] == 0
+        assert all("ts" in event for event in sink.events)
+
+
+class TestRetry:
+    def test_flaky_cell_recovers_on_retry(self, tiny_cells,
+                                          tiny_results):
+        sink = MemorySink()
+        driver = StubDriver(tiny_results, fail_indices={1},
+                            fail_times=1)
+        results = CampaignService(
+            tiny_cells, driver=driver,
+            retry=RetryPolicy(retries=2, backoff_seconds=0),
+            sink=sink,
+        ).run()
+        assert results == tiny_results
+        assert driver.calls == [[0, 1, 2, 3], [1]]
+        attempt_failed = sink.of_type("cell_attempt_failed")
+        assert len(attempt_failed) == 1
+        assert attempt_failed[0]["attempt"] == 0
+        assert "flaky cell 1" in attempt_failed[0]["error"]
+        retry = sink.of_type("campaign_retry")[0]
+        assert retry["cells"] == 1
+        assert sink.of_type("cell_failed") == []
+
+    def test_exhausted_retries_raise_campaign_error(
+            self, tmp_path, tiny_cells, tiny_results):
+        journal = tmp_path / "j.jsonl"
+        sink = MemorySink()
+        driver = StubDriver(tiny_results, fail_indices={2},
+                            fail_times=99)
+        with pytest.raises(CampaignError) as info:
+            CampaignService(
+                tiny_cells, journal=journal, driver=driver,
+                retry=RetryPolicy(retries=1, backoff_seconds=0),
+                sink=sink,
+            ).run()
+        error = info.value
+        assert [f.index for f in error.failures] == [2]
+        assert error.results[2] is None
+        assert error.results[0] == tiny_results[0]
+        # Both attempts drove the failed cell; the rest ran once.
+        assert driver.calls == [[0, 1, 2, 3], [2]]
+        assert len(sink.of_type("cell_attempt_failed")) == 2
+        assert len(sink.of_type("cell_failed")) == 1
+        replay = read_journal(journal)
+        assert len(replay.failures) == 1
+        assert replay.completed == len(tiny_cells) - 1
+
+    def test_sleep_before_backoff_schedule(self):
+        policy = RetryPolicy(retries=3, backoff_seconds=0.5)
+        assert policy.sleep_before(0) == 0.0
+        assert policy.sleep_before(1) == 0.5
+        assert policy.sleep_before(2) == 1.0
+        assert policy.sleep_before(3) == 2.0
+        assert RetryPolicy(backoff_seconds=0).sleep_before(2) == 0.0
+
+
+class TestDriverContract:
+    def test_timeout_refused_without_capable_driver(self, tiny_cells):
+        with pytest.raises(ValueError, match="SubprocessDriver"):
+            CampaignService(
+                tiny_cells, driver=LocalDriver(),
+                retry=RetryPolicy(timeout_seconds=1.0),
+            )
+
+    def test_timeout_forwarded_to_capable_driver(self, tiny_cells):
+        driver = SubprocessDriver(workers=1)
+        CampaignService(
+            tiny_cells, driver=driver,
+            retry=RetryPolicy(timeout_seconds=7.5),
+        )
+        assert driver.timeout_seconds == 7.5
+
+    def test_parent_stores_only_for_non_storing_drivers(
+            self, tmp_path, tiny_cells, tiny_results):
+        storing = ResultCache(tmp_path / "a")
+        CampaignService(
+            tiny_cells, cache=storing,
+            driver=StubDriver(tiny_results),
+        ).run()
+        assert storing.stores == len(tiny_cells)
+
+        delegated = ResultCache(tmp_path / "b")
+        CampaignService(
+            tiny_cells, cache=delegated,
+            driver=StoringStubDriver(tiny_results),
+        ).run()
+        assert delegated.stores == 0

@@ -1,0 +1,153 @@
+"""StatusServer broadcast, late-joiner history, and the client side."""
+
+import io
+import json
+import socket
+import time
+
+from repro.campaignd.stream import (
+    TERMINAL_EVENTS,
+    StatusServer,
+    follow_status,
+    stream_events,
+)
+from repro.observe.sinks import MemorySink
+
+
+def wait_for_clients(server, count=1, timeout=10.0):
+    """Block until the acceptor thread has registered *count* clients.
+
+    Connecting completes the TCP handshake before the server thread
+    accepts; a test that emits and closes immediately after
+    connecting must wait for the registration or the close can reset
+    the still-queued connection.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with server._lock:
+            if len(server._clients) >= count:
+                return
+        time.sleep(0.005)
+    raise AssertionError("status client was never accepted")
+
+
+def recv_events(sock, count, timeout=10.0):
+    """Read *count* JSON-line events from a raw client socket."""
+    sock.settimeout(timeout)
+    buffer = b""
+    events = []
+    while len(events) < count:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        buffer += chunk
+        while b"\n" in buffer and len(events) < count:
+            line, buffer = buffer.split(b"\n", 1)
+            if line.strip():
+                events.append(json.loads(line))
+    return events
+
+
+class TestStatusServer:
+    def test_events_forward_to_inner_sink_and_clients(self):
+        inner = MemorySink()
+        with StatusServer(sink=inner) as server:
+            with socket.create_connection(server.address) as client:
+                server.emit({"type": "campaign_started", "cells": 2})
+                server.emit({"type": "cell_finished", "cell": 0})
+                events = recv_events(client, 2)
+        assert [e["type"] for e in events] == [
+            "campaign_started", "cell_finished",
+        ]
+        assert [e["type"] for e in inner.events] == [
+            "campaign_started", "cell_finished",
+        ]
+
+    def test_late_joiner_receives_full_history_first(self):
+        with StatusServer() as server:
+            server.emit({"type": "campaign_started", "cells": 2})
+            server.emit({"type": "cell_finished", "cell": 0})
+            with socket.create_connection(server.address) as client:
+                history = recv_events(client, 2)
+                server.emit({"type": "cell_finished", "cell": 1})
+                live = recv_events(client, 1)
+        assert [e["type"] for e in history] == [
+            "campaign_started", "cell_finished",
+        ]
+        assert live[0]["cell"] == 1
+
+    def test_close_broadcasts_terminal_event_with_failures(self):
+        server = StatusServer(
+            closing_event={"type": "campaign_serve_finished"},
+        )
+        with socket.create_connection(server.address) as client:
+            wait_for_clients(server)
+            server.emit({"type": "cell_failed", "cell": 0,
+                         "error": "boom"})
+            server.close()
+            events = recv_events(client, 2)
+        assert events[-1]["type"] == "campaign_serve_finished"
+        assert events[-1]["type"] in TERMINAL_EVENTS
+        assert events[-1]["failed"] == 1
+        assert "ts" in events[-1]
+
+    def test_close_is_idempotent(self):
+        server = StatusServer(
+            closing_event={"type": "campaign_serve_finished"},
+        )
+        server.close()
+        server.close()
+
+    def test_vanished_client_does_not_stall_the_campaign(self):
+        with StatusServer() as server:
+            client = socket.create_connection(server.address)
+            server.emit({"type": "cell_finished", "cell": 0})
+            client.close()
+            # Further emits must simply drop the dead client.
+            for cell in range(1, 4):
+                server.emit({"type": "cell_finished", "cell": cell})
+
+
+class TestStreamEvents:
+    def test_streams_history_live_and_stops_at_terminal(self):
+        server = StatusServer(
+            closing_event={"type": "campaign_serve_finished"},
+        )
+        server.emit({"type": "campaign_started", "cells": 1})
+        stream = stream_events(port=server.port, timeout=10.0)
+        assert next(stream)["type"] == "campaign_started"
+        server.emit({"type": "cell_finished", "cell": 0})
+        assert next(stream)["type"] == "cell_finished"
+        server.close()
+        remaining = list(stream)
+        assert [e["type"] for e in remaining] == [
+            "campaign_serve_finished",
+        ]
+
+    def test_plain_eof_ends_the_stream(self):
+        server = StatusServer()  # no closing event configured
+        server.emit({"type": "campaign_started", "cells": 1})
+        stream = stream_events(port=server.port, timeout=10.0)
+        assert next(stream)["type"] == "campaign_started"
+        server.close()
+        assert list(stream) == []
+
+
+class TestFollowStatus:
+    def test_folds_events_into_progress_and_returns_last(self):
+        events = [
+            {"type": "campaign_started", "cells": 4},
+            {"type": "cell_cached", "cell": 0},
+            {"type": "cell_resumed", "cell": 1},
+            {"type": "cell_finished", "cell": 2},
+            {"type": "cell_failed", "cell": 3, "error": "boom"},
+            {"type": "campaign_finished", "cells": 4, "failed": 1},
+        ]
+        stream = io.StringIO()
+        last = follow_status(events, stream=stream)
+        assert last["type"] == "campaign_finished"
+        rendered = stream.getvalue()
+        assert "4/4 cells done" in rendered
+        assert "1 cached" in rendered
+        assert "1 resumed" in rendered
+        assert "1 FAILED" in rendered

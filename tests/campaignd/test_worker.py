@@ -1,0 +1,118 @@
+"""The ``repro worker`` protocol, run in-process for speed."""
+
+import json
+
+import pytest
+
+from repro.campaignd.cells import SpecError, cell_key, cell_to_spec
+from repro.campaignd.worker import read_cell_shard, worker_main
+from repro.parallel import ResultCache
+from repro.parallel.cache import result_from_payload
+
+from tests.campaignd.conftest import make_cells
+
+
+def write_shard(path, cells, indices=None):
+    indices = list(range(len(cells))) if indices is None else indices
+    with open(path, "w", encoding="utf-8") as handle:
+        for index, cell in zip(indices, cells):
+            handle.write(json.dumps({
+                "index": index, "cell": cell_to_spec(cell),
+            }) + "\n")
+
+
+def run_worker(capsys, argv):
+    code = worker_main(argv)
+    lines = [
+        json.loads(line)
+        for line in capsys.readouterr().out.splitlines() if line
+    ]
+    return code, lines
+
+
+class TestReadCellShard:
+    def test_round_trip(self, tmp_path):
+        cells = make_cells(seeds=(0, 1))
+        path = tmp_path / "shard.jsonl"
+        write_shard(path, cells, indices=[4, 9])
+        pairs = read_cell_shard(path)
+        assert [index for index, _ in pairs] == [4, 9]
+        assert [cell_key(cell) for _, cell in pairs] == [
+            cell_key(cell) for cell in cells
+        ]
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SpecError, match=":1:"):
+            read_cell_shard(path)
+
+    def test_missing_fields_raise(self, tmp_path):
+        path = tmp_path / "shard.jsonl"
+        path.write_text('{"cell": {}}\n')
+        with pytest.raises(SpecError, match="'index'"):
+            read_cell_shard(path)
+
+
+class TestWorkerMain:
+    def test_reports_results_and_stores_to_cache(self, tmp_path,
+                                                 capsys, tiny_results):
+        cells = make_cells(seeds=(0, 1))
+        shard = tmp_path / "shard.jsonl"
+        write_shard(shard, cells)
+        code, events = run_worker(capsys, [
+            "--cells", str(shard), "--cache-dir", str(tmp_path / "c"),
+        ])
+        assert code == 0
+        assert events[0]["type"] == "worker_started"
+        assert events[0]["cells"] == 2
+        done = [e for e in events if e["type"] == "worker_cell_done"]
+        assert [e["index"] for e in done] == [0, 1]
+        assert all(e["cached"] is False for e in done)
+        for event, expected in zip(done, tiny_results[:2]):
+            assert result_from_payload(event["result"]) == expected
+        assert events[-1] == {
+            "type": "worker_finished", "cells": 2, "failed": 0,
+        }
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get(cell_key(cells[0])) is not None
+
+    def test_second_run_reports_cache_hits(self, tmp_path, capsys):
+        cells = make_cells(seeds=(2,))
+        shard = tmp_path / "shard.jsonl"
+        write_shard(shard, cells)
+        argv = ["--cells", str(shard),
+                "--cache-dir", str(tmp_path / "c")]
+        run_worker(capsys, argv)
+        code, events = run_worker(capsys, argv)
+        assert code == 0
+        done = [e for e in events if e["type"] == "worker_cell_done"]
+        assert [e["cached"] for e in done] == [True]
+
+    def test_failed_cell_reported_and_shard_continues(self, tmp_path,
+                                                      capsys):
+        cells = make_cells(seeds=(0, 1))
+        shard = tmp_path / "shard.jsonl"
+        write_shard(shard, cells)
+        # Break cell 0's workload state (still decodable, but the
+        # recipe raises once simulation touches the missing field).
+        lines = shard.read_text().splitlines()
+        entry = json.loads(lines[0])
+        entry["cell"]["workload"]["state"].clear()
+        shard.write_text(
+            json.dumps(entry) + "\n" + "\n".join(lines[1:]) + "\n"
+        )
+        code, events = run_worker(capsys, ["--cells", str(shard)])
+        assert code == 0
+        kinds = [e["type"] for e in events]
+        assert "worker_cell_failed" in kinds
+        assert kinds[-1] == "worker_finished"
+        assert events[-1]["failed"] == 1
+        done = [e for e in events if e["type"] == "worker_cell_done"]
+        assert [e["index"] for e in done] == [1]
+
+    def test_unreadable_shard_is_a_worker_error(self, tmp_path,
+                                                capsys):
+        path = tmp_path / "shard.jsonl"
+        path.write_text("garbage\n")
+        assert worker_main(["--cells", str(path)]) == 2

@@ -32,24 +32,39 @@ class TestCoerce:
 class TestCounting:
     def test_counts_and_status_line(self):
         stream = io.StringIO()
-        progress = CampaignProgress(total=4, stream=stream)
+        progress = CampaignProgress(total=5, stream=stream)
         progress.cell_finished()
         progress.cell_cached()
+        progress.cell_resumed()
         progress.cell_failed()
 
-        assert (progress.done, progress.cached, progress.failed) == (
-            3, 1, 1
-        )
+        assert (
+            progress.done, progress.computed, progress.cached,
+            progress.resumed, progress.failed,
+        ) == (4, 1, 1, 1, 1)
         line = progress.status_line()
-        assert "3/4 cells done" in line
+        assert "4/5 cells done" in line
+        assert "1 computed" in line
         assert "1 cached" in line
+        assert "1 resumed" in line
         assert "1 FAILED" in line
         assert "elapsed" in line
 
-    def test_eta_ignores_cache_hits(self):
+    def test_cached_and_computed_reported_separately(self):
         progress = CampaignProgress(total=4, stream=io.StringIO())
         progress.cell_cached()
-        # Only cache hits so far: no basis for an estimate.
+        progress.cell_cached()
+        progress.cell_finished()
+        assert progress.cached == 2
+        assert progress.computed == 1
+        line = progress.status_line()
+        assert "2 cached" in line and "1 computed" in line
+
+    def test_eta_ignores_cache_hits_and_resumes(self):
+        progress = CampaignProgress(total=5, stream=io.StringIO())
+        progress.cell_cached()
+        progress.cell_resumed()
+        # Only resolved cells so far: no basis for an estimate.
         assert progress.eta_seconds() is None
         progress.cell_finished()
         eta = progress.eta_seconds()

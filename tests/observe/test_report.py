@@ -57,11 +57,30 @@ class TestReadTrace:
             "a", "b",
         ]
 
-    def test_truncated_line_reports_line_number(self, tmp_path):
+    def test_torn_final_line_skipped(self, tmp_path):
+        # A torn line with no trailing newline is the signature of a
+        # killed run (the sink flushes per event); the readable prefix
+        # must survive so crashed campaigns stay reportable.
         path = tmp_path / "trace.jsonl"
         path.write_text('{"type": "a"}\n{"type": "b", "refer')
+        assert [event["type"] for event in read_trace(path)] == ["a"]
+
+    def test_torn_mid_file_line_reports_line_number(self, tmp_path):
+        # Mid-file corruption is real damage, not a crash signature:
+        # a later complete line proves the writer kept going.
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "a"}\n{"type": "b", "refer\n{"type": "c"}\n'
+        )
         with pytest.raises(TraceFormatError, match=r":2:"):
             read_trace(path)
+
+    def test_complete_final_line_without_newline_kept(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "a"}\n{"type": "b"}')
+        assert [event["type"] for event in read_trace(path)] == [
+            "a", "b",
+        ]
 
     def test_untyped_event_rejected(self, tmp_path):
         path = tmp_path / "trace.jsonl"

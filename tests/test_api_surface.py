@@ -26,6 +26,7 @@ PACKAGES = (
     "repro.workloads",
     "repro.analysis",
     "repro.parallel",
+    "repro.campaignd",
     "repro.lint",
 )
 
@@ -57,6 +58,13 @@ MODULES = (
     "repro.observe.sinks",
     "repro.parallel.cache",
     "repro.parallel.executor",
+    "repro.campaignd.cells",
+    "repro.campaignd.journal",
+    "repro.campaignd.queue",
+    "repro.campaignd.drivers",
+    "repro.campaignd.service",
+    "repro.campaignd.stream",
+    "repro.campaignd.worker",
     "repro.workloads.catalog",
     "repro.workloads.synthetic",
     "repro.workloads.recorded",
